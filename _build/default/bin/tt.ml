@@ -1,0 +1,294 @@
+(* tt — command-line driver for the Tempest/Typhoon reproduction.
+
+   Subcommands:
+     tt run     run one benchmark on one machine and report cycles/stats
+     tt fig3    reproduce Figure 3 (Typhoon/Stache vs DirNNB)
+     tt fig4    reproduce Figure 4 (EM3D update protocol)
+     tt tables  print Tables 1-3 as implemented
+     tt list    list benchmarks and machines *)
+
+open Cmdliner
+module H = Tt_harness
+
+let machine_names = [ "dirnnb"; "stache"; "update" ]
+
+let make_machine name params =
+  match name with
+  | "dirnnb" -> H.Machine.dirnnb params
+  | "stache" -> H.Machine.typhoon_stache params
+  | "update" -> H.Machine.typhoon_em3d params
+  | other -> invalid_arg (Printf.sprintf "unknown machine %S" other)
+
+(* --- common options --- *)
+
+let nodes_t =
+  Arg.(value & opt int 32 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
+
+let scale_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ]
+        ~doc:"Data-set scale factor (1.0 = the paper's Table 3 sizes).")
+
+let verify_t =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"After each run, check results against the sequential oracle.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+(* --- tt run --- *)
+
+let run_cmd =
+  let app_t =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) H.Catalog.names))) None
+      & info [] ~docv:"APP" ~doc:"Benchmark to run.")
+  in
+  let machine_t =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) machine_names)) "stache"
+      & info [ "m"; "machine" ] ~doc:"Machine: dirnnb, stache or update.")
+  in
+  let size_t =
+    Arg.(
+      value
+      & opt (enum [ ("small", H.Catalog.Small); ("large", H.Catalog.Large) ])
+          H.Catalog.Small
+      & info [ "size" ] ~doc:"Data set: small or large.")
+  in
+  let cache_t =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~doc:"CPU cache size in KB (Figure 3 sweeps 4..256).")
+  in
+  let stats_t =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Dump all statistics counters.")
+  in
+  let run app machine_name size cache_kb nodes scale seed verify stats =
+    let params =
+      { Params.default with Params.nodes; seed;
+        cpu_cache_bytes = cache_kb * 1024 }
+    in
+    let machine = make_machine machine_name params in
+    let inst = H.Catalog.make ~name:app ~size ~scale ~nprocs:nodes in
+    let r = H.Run.spmd machine ~name:app inst.H.Catalog.body in
+    if verify then begin
+      ignore
+        (H.Run.spmd machine ~name:(app ^ "-verify") ~check:false
+           inst.H.Catalog.verify);
+      Printf.printf "verification against the sequential oracle: OK\n"
+    end;
+    Printf.printf "%s (%s, %s) on %s, %d nodes: %d cycles\n" app
+      (H.Catalog.size_label size)
+      (H.Catalog.data_set_description ~name:app ~size ~scale)
+      machine_name nodes r.H.Run.cycles;
+    if stats then
+      Format.printf "%a@." Tt_util.Stats.pp r.H.Run.run_stats
+  in
+  let doc = "Run one benchmark on one machine." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ app_t $ machine_t $ size_t $ cache_t $ nodes_t $ scale_t
+      $ seed_t $ verify_t $ stats_t)
+
+(* --- tt fig3 --- *)
+
+let fig3_cmd =
+  let apps_t =
+    Arg.(
+      value
+      & opt (list (enum (List.map (fun n -> (n, n)) H.Catalog.names)))
+          H.Catalog.names
+      & info [ "apps" ] ~doc:"Comma-separated benchmark subset.")
+  in
+  let run apps nodes scale verify =
+    let rows = H.Fig3.run ~apps ~scale ~nodes ~verify () in
+    print_string (H.Fig3.render rows)
+  in
+  let doc = "Reproduce Figure 3 (Typhoon/Stache vs DirNNB)." in
+  Cmd.v (Cmd.info "fig3" ~doc)
+    Term.(const run $ apps_t $ nodes_t $ scale_t $ verify_t)
+
+(* --- tt fig4 --- *)
+
+let fig4_cmd =
+  let pcts_t =
+    Arg.(
+      value
+      & opt (list int) [ 0; 10; 20; 30; 40; 50 ]
+      & info [ "pcts" ] ~doc:"Percentages of non-local edges to sweep.")
+  in
+  let run pcts nodes scale verify =
+    let points = H.Fig4.run ~pcts ~scale ~nodes ~verify () in
+    print_string (H.Fig4.render points)
+  in
+  let doc = "Reproduce Figure 4 (EM3D custom update protocol)." in
+  Cmd.v (Cmd.info "fig4" ~doc)
+    Term.(const run $ pcts_t $ nodes_t $ scale_t $ verify_t)
+
+(* --- tt sweep --- *)
+
+let sweep_cmd =
+  let pcts_t =
+    Arg.(
+      value
+      & opt (list int) [ 0; 20; 40; 60; 80 ]
+      & info [ "remote" ] ~doc:"Remote-access percentages to sweep.")
+  in
+  let writes_t =
+    Arg.(
+      value & opt int 30 & info [ "writes" ] ~doc:"Write percentage (0-100).")
+  in
+  let contended_t =
+    Arg.(
+      value & flag
+      & info [ "contended" ]
+          ~doc:
+            "Use lock-protected remote counters (migratory sharing) instead \
+             of read-only remote sharing.")
+  in
+  let run pcts write_pct contended nodes seed =
+    let table =
+      Tt_util.Tablefmt.create
+        ~title:
+          (Printf.sprintf
+             "synthetic workload sweep (%d nodes, %d%% writes, %s sharing): \
+              cycles"
+             nodes write_pct
+             (if contended then "locked-counter" else "private-write"))
+        ~columns:
+          [ ("% remote", Tt_util.Tablefmt.Right);
+            ("DirNNB", Tt_util.Tablefmt.Right);
+            ("Typhoon/Stache", Tt_util.Tablefmt.Right);
+            ("ratio", Tt_util.Tablefmt.Right) ]
+    in
+    List.iter
+      (fun remote_pct ->
+        let cfg =
+          { Tt_app.Synth.default with
+            Tt_app.Synth.remote_pct; write_pct; seed;
+            sharing =
+              (if contended then Tt_app.Synth.Locked_counters
+               else Tt_app.Synth.Private_writes) }
+        in
+        let cycles make =
+          let machine : H.Machine.t =
+            make { Params.default with Params.nodes; seed }
+          in
+          let inst = Tt_app.Synth.make cfg ~nprocs:nodes in
+          let r = H.Run.spmd machine ~name:"synth" inst.Tt_app.Synth.body in
+          ignore
+            (H.Run.spmd machine ~name:"synth-verify" ~check:false
+               inst.Tt_app.Synth.verify);
+          r.H.Run.cycles
+        in
+        let d = cycles H.Machine.dirnnb in
+        let st = cycles (fun p -> H.Machine.typhoon_stache p) in
+        Tt_util.Tablefmt.add_row table
+          [ string_of_int remote_pct; string_of_int d; string_of_int st;
+            Printf.sprintf "%.2f" (float_of_int st /. float_of_int d) ])
+      pcts;
+    Tt_util.Tablefmt.print table
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Explore the design space with the synthetic workload generator: \
+          sweep the remote-access fraction on both machines (results are \
+          verified against the generator's oracle).")
+    Term.(const run $ pcts_t $ writes_t $ contended_t $ nodes_t $ seed_t)
+
+(* --- tt verify --- *)
+
+let verify_cmd =
+  let run nodes scale =
+    let machines =
+      [ ("dirnnb", H.Machine.dirnnb);
+        ("stache", fun p -> H.Machine.typhoon_stache p);
+        ("update", fun p -> H.Machine.typhoon_em3d p) ]
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun app ->
+        List.iter
+          (fun (mlabel, make) ->
+            let machine = make { Params.default with Params.nodes } in
+            let inst =
+              H.Catalog.make ~name:app ~size:H.Catalog.Small ~scale
+                ~nprocs:nodes
+            in
+            match
+              let r = H.Run.spmd machine ~name:app inst.H.Catalog.body in
+              ignore
+                (H.Run.spmd machine ~name:(app ^ "-verify") ~check:false
+                   inst.H.Catalog.verify);
+              r
+            with
+            | r ->
+                Printf.printf "  %-8s on %-8s OK (%d cycles)\n%!" app mlabel
+                  r.H.Run.cycles
+            | exception e ->
+                incr failures;
+                Printf.printf "  %-8s on %-8s FAILED: %s\n%!" app mlabel
+                  (Printexc.to_string e))
+          machines)
+      H.Catalog.names;
+    if !failures = 0 then
+      print_endline "all benchmarks match their sequential oracles on every \
+                     machine"
+    else begin
+      Printf.printf "%d failures\n" !failures;
+      exit 1
+    end
+  in
+  let scale_small =
+    Arg.(
+      value & opt float 0.1
+      & info [ "scale" ] ~doc:"Data-set scale factor (default 0.1).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Self-test: run every benchmark on every machine and check the \
+          results against the sequential oracles.")
+    Term.(const run $ nodes_t $ scale_small)
+
+(* --- tt ablations --- *)
+
+let ablations_cmd =
+  let run nodes = print_string (H.Ablations.render_all ~nodes ()) in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:
+         "Run the design-choice ablations: limited-pointer directory, \
+          network contention, message barrier, software prefetch.")
+    Term.(const run $ nodes_t)
+
+(* --- tt tables --- *)
+
+let tables_cmd =
+  let run () = print_string (H.Tables.all ()) in
+  Cmd.v (Cmd.info "tables" ~doc:"Print Tables 1-3 as implemented.")
+    Term.(const run $ const ())
+
+(* --- tt list --- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "benchmarks: %s\nmachines:   %s\n"
+      (String.concat ", " H.Catalog.names)
+      (String.concat ", " machine_names)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and machines.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Tempest & Typhoon: user-level shared memory (reproduction)" in
+  let info = Cmd.info "tt" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ run_cmd; fig3_cmd; fig4_cmd; tables_cmd; ablations_cmd; sweep_cmd;
+         verify_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/bulk_pipeline.ml: Array Hashtbl Params Printf Tempest Tt_mem Tt_net Tt_sim Tt_typhoon Tt_util

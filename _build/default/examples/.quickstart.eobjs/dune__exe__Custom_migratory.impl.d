@@ -1,0 +1,1 @@
+examples/custom_migratory.ml: Array Hashtbl Option Params Printf Queue Tempest Tt_app Tt_harness Tt_mem Tt_net Tt_sim Tt_stache Tt_typhoon Tt_util

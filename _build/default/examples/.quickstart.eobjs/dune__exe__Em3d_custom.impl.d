@@ -1,0 +1,1 @@
+examples/em3d_custom.ml: List Params Printf Tt_app Tt_harness Tt_util

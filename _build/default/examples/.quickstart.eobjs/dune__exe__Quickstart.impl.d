@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Params Printf Tt_app Tt_harness Tt_util

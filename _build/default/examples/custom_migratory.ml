@@ -1,0 +1,227 @@
+(* Writing a coherence protocol from scratch against raw Tempest.
+
+   Migratory data — objects that are read-and-then-written by one processor
+   at a time (work queues, reduction cells) — is a worst case for an
+   invalidation protocol: every visit costs a read miss *and* an upgrade.
+   The ~100 lines of protocol below exploit the pattern: every fault fetches
+   the block exclusively, so each migration is a single request/recall/data
+   round.
+
+   The same workload (counters visited round-robin by every processor) runs
+   under transparent Stache and under the migratory protocol; the custom
+   protocol should roughly halve the protocol transactions per visit.
+
+     dune exec examples/custom_migratory.exe *)
+
+module Engine = Tt_sim.Engine
+module Thread = Tt_sim.Thread
+module System = Tt_typhoon.System
+module Stache = Tt_stache.Stache
+module Addr = Tt_mem.Addr
+module Tag = Tt_mem.Tag
+module Message = Tt_net.Message
+module Env = Tt_app.Env
+module Machine = Tt_harness.Machine
+module Run = Tt_harness.Run
+
+(* ---------------- the migratory protocol ---------------- *)
+
+let mode_mig_home = 8
+
+let mode_mig_remote = 9
+
+type mig = {
+  sys : System.t;
+  stache : Stache.t;  (* reused for its allocator/registry only *)
+  owners : (int, int) Hashtbl.t;  (* block va -> current owner *)
+  pending_req : (int, int Queue.t) Hashtbl.t;  (* home: waiting requesters *)
+  pending_cpu : (int, Tempest.resumption) Hashtbl.t array;
+  mig_pages : (int, unit) Hashtbl.t;
+  mutable h_get : int;
+  mutable h_recall : int;
+  mutable h_data : int;
+}
+
+let queue_of t block =
+  match Hashtbl.find_opt t.pending_req block with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.pending_req block q;
+      q
+
+(* home: grant the block to the next queued requester, recalling it first *)
+let rec serve t (ep : Tempest.t) block =
+  let q = queue_of t block in
+  match Queue.peek_opt q with
+  | None -> ()
+  | Some requester -> (
+      let owner =
+        Option.value ~default:ep.Tempest.node (Hashtbl.find_opt t.owners block)
+      in
+      if owner = ep.Tempest.node then begin
+        (* we hold it: hand it over *)
+        ignore (Queue.pop q);
+        let data = ep.Tempest.force_read_block ~vaddr:block in
+        ep.Tempest.invalidate ~vaddr:block;
+        Hashtbl.replace t.owners block requester;
+        ep.Tempest.charge 6;
+        ep.Tempest.send ~dst:requester ~vnet:Message.Response ~handler:t.h_data
+          ~args:[| block |] ~data ();
+        serve t ep block
+      end
+      else begin
+        ep.Tempest.charge 4;
+        ep.Tempest.send ~dst:owner ~vnet:Message.Request ~handler:t.h_recall
+          ~args:[| block |] ()
+      end)
+
+let install sys stache =
+  let t =
+    { sys; stache; owners = Hashtbl.create 512;
+      pending_req = Hashtbl.create 512;
+      pending_cpu =
+        Array.init (System.nnodes sys) (fun _ -> Hashtbl.create 4);
+      mig_pages = Hashtbl.create 64; h_get = -1; h_recall = -1; h_data = -1 }
+  in
+  let tables = System.handlers sys in
+  let reg name f = Tempest.Handlers.register_message tables ~name f in
+  t.h_get <-
+    reg "mig.get" (fun ep ~src ~args ~data:_ ->
+        let block = args.(0) in
+        ep.Tempest.charge 4;
+        Queue.add src (queue_of t block);
+        (* only kick the service loop for the new head *)
+        if Queue.length (queue_of t block) = 1 then serve t ep block);
+  t.h_recall <-
+    reg "mig.recall" (fun ep ~src ~args ~data:_ ->
+        let block = args.(0) in
+        let data = ep.Tempest.force_read_block ~vaddr:block in
+        ep.Tempest.invalidate ~vaddr:block;
+        ep.Tempest.charge 4;
+        (* send it home; home forwards to the waiting requester *)
+        ep.Tempest.send ~dst:src ~vnet:Message.Response ~handler:t.h_data
+          ~args:[| block; 1 |] ~data ());
+  t.h_data <-
+    reg "mig.data" (fun ep ~src:_ ~args ~data ->
+        let block = args.(0) in
+        let via_home = Array.length args > 1 in
+        ep.Tempest.force_write_block ~vaddr:block data;
+        ep.Tempest.charge 4;
+        if via_home then begin
+          (* we are the home, mid-recall: now hand to the requester *)
+          Hashtbl.replace t.owners block ep.Tempest.node;
+          serve t ep block
+        end
+        else begin
+          ep.Tempest.set_rw ~vaddr:block;
+          match Hashtbl.find_opt t.pending_cpu.(ep.Tempest.node) block with
+          | Some resumption ->
+              Hashtbl.remove t.pending_cpu.(ep.Tempest.node) block;
+              ep.Tempest.resume resumption
+          | None -> failwith "mig: data with no waiting fault"
+        end);
+  let fault ep (f : Tempest.fault) =
+    let block = Addr.block_base f.Tempest.fault_vaddr in
+    ep.Tempest.set_busy ~vaddr:block;
+    Hashtbl.replace t.pending_cpu.(ep.Tempest.node) block
+      f.Tempest.fault_resumption;
+    ep.Tempest.charge 6;
+    ep.Tempest.send ~dst:(Stache.home_of stache ~vaddr:block)
+      ~vnet:Message.Request ~handler:t.h_get ~args:[| block |] ()
+  in
+  Tempest.Handlers.set_block_fault tables ~mode:mode_mig_home (fault);
+  Tempest.Handlers.set_block_fault tables ~mode:mode_mig_remote (fault);
+  let stache_pf = Option.get (Tempest.Handlers.page_fault tables) in
+  Tempest.Handlers.set_page_fault tables (fun ep ~vaddr access resumption ->
+      let vpage = Addr.page_of vaddr in
+      if Hashtbl.mem t.mig_pages vpage then begin
+        ep.Tempest.charge 10;
+        ep.Tempest.map_page ~vpage ~home:(Stache.home_of stache ~vaddr)
+          ~mode:mode_mig_remote ~init_tag:Tag.Invalid;
+        ep.Tempest.resume resumption
+      end
+      else stache_pf ep ~vaddr access resumption);
+  t
+
+let mig_alloc t ~th ~node bytes =
+  let va =
+    Stache.alloc t.stache ~th ~node ~align:Addr.page_size ~bytes ()
+  in
+  let home = Stache.home_of t.stache ~vaddr:va in
+  let ep = System.endpoint t.sys home in
+  System.with_cpu_context t.sys ~node th (fun () ->
+      for vpage = Addr.page_of va to Addr.page_of (va + bytes - 1) do
+        Hashtbl.replace t.mig_pages vpage ();
+        ep.Tempest.set_page_mode ~vpage ~mode:mode_mig_home
+      done);
+  va
+
+(* ---------------- the migratory workload ---------------- *)
+
+let counters = 64
+
+let rounds = 6
+
+let workload (base : int ref) (env : Env.t) =
+  if env.Env.proc = 0 then begin
+    base := env.Env.alloc_kind "migratory" (counters * Env.word);
+    for c = 0 to counters - 1 do
+      env.Env.write (!base + (c * Env.word)) 0.0
+    done
+  end;
+  env.Env.barrier ();
+  (* each round, every processor visits every counter (staggered start so
+     ownership migrates around the machine) *)
+  for round = 1 to rounds do
+    ignore round;
+    for k = 0 to counters - 1 do
+      let c = (k + (env.Env.proc * counters / env.Env.nprocs)) mod counters in
+      let a = !base + (c * Env.word) in
+      env.Env.lock c;
+      env.Env.write a (env.Env.read a +. 1.0);
+      env.Env.unlock c
+    done
+  done;
+  env.Env.barrier ();
+  if env.Env.proc = 0 then
+    for c = 0 to counters - 1 do
+      let v = env.Env.read (!base + (c * Env.word)) in
+      let want = float_of_int (rounds * env.Env.nprocs) in
+      if v <> want then
+        failwith (Printf.sprintf "counter %d: %g, want %g" c v want)
+    done
+
+let run_on label machine =
+  let base = ref 0 in
+  let r = Run.spmd machine ~name:"migratory" ~check:false (workload base) in
+  let s = r.Run.run_stats in
+  let msgs =
+    Tt_util.Stats.get s "msgs.request" + Tt_util.Stats.get s "msgs.response"
+  in
+  Printf.printf "%-22s %10d cycles %8d protocol messages\n" label
+    r.Run.cycles msgs;
+  (r.Run.cycles, msgs)
+
+let () =
+  let params = { Params.default with Params.nodes = 8 } in
+  Printf.printf
+    "migratory counters: %d counters x %d rounds x %d processors\n\n" counters
+    rounds params.Params.nodes;
+  let stache_machine = Machine.typhoon_stache params in
+  let _ = run_on "typhoon/stache" stache_machine in
+  let machine, sys, stache = Machine.typhoon_stache_full params in
+  let mig = install sys stache in
+  Hashtbl.replace machine.Machine.special_allocs "migratory"
+    (fun ~node th ?home bytes ->
+      ignore home;
+      mig_alloc mig ~th ~node bytes);
+  let _ = run_on "typhoon/migratory" machine in
+  print_newline ();
+  print_endline
+    "The migratory protocol fetches exclusively on first touch, so each \
+     visit is one transaction instead of Stache's read-miss + upgrade pair \
+     — written in ~100 lines of user-level OCaml against the Tempest \
+     endpoint.";
+  print_endline
+    "(Both runs checked the counters against the expected totals.)"

@@ -1,0 +1,1 @@
+lib/apps/appbt.ml: Array Env Printf

@@ -1,0 +1,1 @@
+lib/apps/appbt.mli: Env

@@ -1,0 +1,1 @@
+lib/apps/barnes.ml: Array Env Option Printf Tt_util

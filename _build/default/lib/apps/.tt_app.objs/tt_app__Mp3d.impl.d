@@ -1,0 +1,1 @@
+lib/apps/mp3d.ml: Array Env Printf Tt_util

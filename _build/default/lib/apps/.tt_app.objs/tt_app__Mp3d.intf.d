@@ -1,0 +1,1 @@
+lib/apps/mp3d.mli: Env

@@ -1,0 +1,1 @@
+lib/apps/synth.ml: Array Env Printf Tt_util

@@ -1,0 +1,22 @@
+(** Appbt (NAS): block-tridiagonal CFD solver on a 3-D grid.
+
+    Each cell carries a 5-component state vector.  An iteration computes a
+    7-point-stencil right-hand side (nearest-neighbour sharing across the
+    z-partitioned slabs), then performs line solves along x, y and z.  The
+    x and y lines are slab-local; the z lines cross every partition, so the
+    forward and backward substitutions pipeline through the processors —
+    the communication structure of the NAS code.  5×5 block operations are
+    modelled as scalar recurrences per component plus their flop cost.
+    Table 3: 12³ (small) / 24³ (large). *)
+
+type config = { n : int; iters : int; seed : int }
+
+val small : config
+
+val large : config
+
+val scale : config -> float -> config
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+val make : config -> nprocs:int -> instance

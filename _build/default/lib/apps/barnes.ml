@@ -1,0 +1,344 @@
+module Prng = Tt_util.Prng
+
+type config = { bodies : int; iters : int; theta : float; dt : float; seed : int }
+
+let small = { bodies = 2048; iters = 2; theta = 0.7; dt = 0.01; seed = 13 }
+
+let large = { bodies = 8192; iters = 2; theta = 0.7; dt = 0.01; seed = 13 }
+
+let scale cfg factor =
+  { cfg with bodies = max 64 (int_of_float (float_of_int cfg.bodies *. factor)) }
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+let softening = 1e-3
+
+(* ------------------------------------------------------------------ *)
+(* Octree over the unit box, shared by the oracle and the SPMD body.   *)
+(* Topology is a host-side structure (the "pointers"); node summaries  *)
+(* (mass, centre of mass) live wherever the accessors point.           *)
+(* ------------------------------------------------------------------ *)
+
+type tnode = {
+  id : int;
+  cx : float;  (* geometric cell centre *)
+  cy : float;
+  cz : float;
+  half : float;
+  mutable children : tnode option array;  (* length 8, Some when split *)
+  mutable leaf_body : int;  (* body index, -1 when internal/empty *)
+  mutable count : int;
+  (* summary, filled bottom-up *)
+  mutable mass : float;
+  mutable mx : float;
+  mutable my : float;
+  mutable mz : float;
+}
+
+let fresh_node next_id ~cx ~cy ~cz ~half =
+  let id = !next_id in
+  incr next_id;
+  { id; cx; cy; cz; half; children = [||]; leaf_body = -1; count = 0;
+    mass = 0.0; mx = 0.0; my = 0.0; mz = 0.0 }
+
+let octant node x y z =
+  (if x >= node.cx then 1 else 0)
+  lor (if y >= node.cy then 2 else 0)
+  lor if z >= node.cz then 4 else 0
+
+let child_cell next_id node o =
+  let q = node.half /. 2.0 in
+  fresh_node next_id
+    ~cx:(node.cx +. if o land 1 = 1 then q else -.q)
+    ~cy:(node.cy +. if o land 2 = 2 then q else -.q)
+    ~cz:(node.cz +. if o land 4 = 4 then q else -.q)
+    ~half:q
+
+(* Build the tree over all bodies; [pos b] yields body b's coordinates. *)
+let build_tree ~n ~pos =
+  let next_id = ref 0 in
+  let root = fresh_node next_id ~cx:0.5 ~cy:0.5 ~cz:0.5 ~half:0.5 in
+  let rec insert node b x y z depth =
+    node.count <- node.count + 1;
+    if node.children = [||] && node.leaf_body = -1 && node.count = 1 then
+      node.leaf_body <- b
+    else begin
+      if node.children = [||] then node.children <- Array.make 8 None;
+      (if node.leaf_body >= 0 && depth < 40 then begin
+         let old = node.leaf_body in
+         node.leaf_body <- -1;
+         let ox, oy, oz = pos old in
+         let o = octant node ox oy oz in
+         let child =
+           match node.children.(o) with
+           | Some c -> c
+           | None ->
+               let c = child_cell next_id node o in
+               node.children.(o) <- Some c;
+               c
+         in
+         insert child old ox oy oz (depth + 1)
+       end);
+      if depth >= 40 then
+        (* pathological coincident bodies: keep as a degenerate leaf list by
+           folding into the summary only *)
+        ()
+      else begin
+        let o = octant node x y z in
+        let child =
+          match node.children.(o) with
+          | Some c -> c
+          | None ->
+              let c = child_cell next_id node o in
+              node.children.(o) <- Some c;
+              c
+        in
+        insert child b x y z (depth + 1)
+      end
+    end
+  in
+  for b = 0 to n - 1 do
+    let x, y, z = pos b in
+    insert root b x y z 0
+  done;
+  root, !next_id
+
+(* Fill node summaries bottom-up from body positions/masses. *)
+let rec summarize node ~pos ~mass =
+  if node.leaf_body >= 0 then begin
+    let x, y, z = pos node.leaf_body in
+    let m = mass node.leaf_body in
+    node.mass <- m;
+    node.mx <- x;
+    node.my <- y;
+    node.mz <- z
+  end
+  else begin
+    let m = ref 0.0 and sx = ref 0.0 and sy = ref 0.0 and sz = ref 0.0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some c ->
+            summarize c ~pos ~mass;
+            m := !m +. c.mass;
+            sx := !sx +. (c.mass *. c.mx);
+            sy := !sy +. (c.mass *. c.my);
+            sz := !sz +. (c.mass *. c.mz))
+      node.children;
+    node.mass <- !m;
+    if !m > 0.0 then begin
+      node.mx <- !sx /. !m;
+      node.my <- !sy /. !m;
+      node.mz <- !sz /. !m
+    end
+  end
+
+(* Force on body [b] at (x,y,z): [summary node] reads a node's (mass,cm)
+   through the machine (or host) and [leaf bi] a body's (mass,pos); [step]
+   charges traversal cost. *)
+let force_on ~theta ~summary ~leaf ~step ~b ~x ~y ~z root =
+  let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 in
+  let add m dx dy dz =
+    let d2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. softening in
+    let d = sqrt d2 in
+    let f = m /. (d2 *. d) in
+    ax := !ax +. (f *. dx);
+    ay := !ay +. (f *. dy);
+    az := !az +. (f *. dz)
+  in
+  let rec visit node =
+    if node.count = 0 then ()
+    else if node.leaf_body >= 0 then begin
+      if node.leaf_body <> b then begin
+        let m, bx, by, bz = leaf node.leaf_body in
+        add m (bx -. x) (by -. y) (bz -. z)
+      end
+    end
+    else begin
+      step ();
+      let m, mx, my, mz = summary node in
+      let dx = mx -. x and dy = my -. y and dz = mz -. z in
+      let d = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) +. 1e-12 in
+      if 2.0 *. node.half /. d < theta then add m dx dy dz
+      else
+        Array.iter (function None -> () | Some c -> visit c) node.children
+    end
+  in
+  visit root;
+  !ax, !ay, !az
+
+let initial_body cfg b =
+  let prng = Prng.create ~seed:(cfg.seed lxor (b * 40503)) in
+  let x = Prng.float prng 1.0
+  and y = Prng.float prng 1.0
+  and z = Prng.float prng 1.0 in
+  let m = 0.5 +. Prng.float prng 1.0 in
+  x, y, z, m
+
+let wrap v = v -. floor v
+
+(* One full simulation on host arrays: the oracle. *)
+let oracle cfg =
+  let n = cfg.bodies in
+  let x = Array.make n 0.0 and y = Array.make n 0.0 and z = Array.make n 0.0 in
+  let vx = Array.make n 0.0 and vy = Array.make n 0.0 and vz = Array.make n 0.0 in
+  let m = Array.make n 0.0 in
+  for b = 0 to n - 1 do
+    let bx, by, bz, bm = initial_body cfg b in
+    x.(b) <- bx;
+    y.(b) <- by;
+    z.(b) <- bz;
+    m.(b) <- bm
+  done;
+  for _it = 1 to cfg.iters do
+    let pos b = x.(b), y.(b), z.(b) in
+    let root, _ = build_tree ~n ~pos in
+    summarize root ~pos ~mass:(fun b -> m.(b));
+    let ax = Array.make n 0.0 and ay = Array.make n 0.0 and az = Array.make n 0.0 in
+    for b = 0 to n - 1 do
+      let fx, fy, fz =
+        force_on ~theta:cfg.theta
+          ~summary:(fun node -> node.mass, node.mx, node.my, node.mz)
+          ~leaf:(fun bi -> m.(bi), x.(bi), y.(bi), z.(bi))
+          ~step:(fun () -> ())
+          ~b ~x:x.(b) ~y:y.(b) ~z:z.(b) root
+      in
+      ax.(b) <- fx;
+      ay.(b) <- fy;
+      az.(b) <- fz
+    done;
+    for b = 0 to n - 1 do
+      vx.(b) <- vx.(b) +. (ax.(b) *. cfg.dt);
+      vy.(b) <- vy.(b) +. (ay.(b) *. cfg.dt);
+      vz.(b) <- vz.(b) +. (az.(b) *. cfg.dt);
+      x.(b) <- wrap (x.(b) +. (vx.(b) *. cfg.dt));
+      y.(b) <- wrap (y.(b) +. (vy.(b) *. cfg.dt));
+      z.(b) <- wrap (z.(b) +. (vz.(b) *. cfg.dt))
+    done
+  done;
+  x, y, z, vx, vy, vz
+
+(* Body record layout in shared memory: x y z vx vy vz mass pad (8 words,
+   two 32-byte blocks). *)
+let body_words = 8
+
+let make cfg ~nprocs =
+  let n = cfg.bodies in
+  let per_proc = (n + nprocs - 1) / nprocs in
+  let ex, ey, ez, evx, evy, evz = oracle cfg in
+  let body_base = Array.make nprocs 0 in
+  let node_base = ref 0 in
+  let max_nodes = (4 * n) + 64 in
+  let baddr b field =
+    body_base.(b / per_proc)
+    + ((((b mod per_proc) * body_words) + field) * Env.word)
+  in
+  let naddr id field = !node_base + (((id * 4) + field) * Env.word) in
+  (* tree topology of the current iteration, rebuilt by proc 0 *)
+  let tree_root = ref None in
+  let body (env : Env.t) =
+    let p = env.Env.proc in
+    if p = 0 then begin
+      for q = 0 to nprocs - 1 do
+        body_base.(q) <- env.Env.alloc ~home:q (per_proc * body_words * Env.word)
+      done;
+      node_base := env.Env.alloc ~home:0 (max_nodes * 4 * Env.word)
+    end;
+    env.Env.barrier ();
+    let b_lo = p * per_proc in
+    let b_hi = min (b_lo + per_proc) n - 1 in
+    for b = b_lo to b_hi do
+      let x, y, z, m = initial_body cfg b in
+      env.Env.write (baddr b 0) x;
+      env.Env.write (baddr b 1) y;
+      env.Env.write (baddr b 2) z;
+      env.Env.write (baddr b 3) 0.0;
+      env.Env.write (baddr b 4) 0.0;
+      env.Env.write (baddr b 5) 0.0;
+      env.Env.write (baddr b 6) m
+    done;
+    env.Env.barrier ();
+    for _it = 1 to cfg.iters do
+      (* phase 1: proc 0 rebuilds the tree and publishes node summaries *)
+      if p = 0 then begin
+        let pos b =
+          env.Env.read (baddr b 0), env.Env.read (baddr b 1),
+          env.Env.read (baddr b 2)
+        in
+        let root, nnodes = build_tree ~n ~pos in
+        if nnodes > max_nodes then failwith "barnes: tree node overflow";
+        env.Env.work (10 * n);
+        summarize root ~pos ~mass:(fun b -> env.Env.read (baddr b 6));
+        let rec publish node =
+          env.Env.write (naddr node.id 0) node.mass;
+          env.Env.write (naddr node.id 1) node.mx;
+          env.Env.write (naddr node.id 2) node.my;
+          env.Env.write (naddr node.id 3) node.mz;
+          Array.iter (function None -> () | Some c -> publish c) node.children
+        in
+        publish root;
+        tree_root := Some root
+      end;
+      env.Env.barrier ();
+      (* phase 2: forces on owned bodies, reading shared tree + bodies *)
+      let root = Option.get !tree_root in
+      let acc = Array.make (max 1 (b_hi - b_lo + 1)) (0.0, 0.0, 0.0) in
+      for b = b_lo to b_hi do
+        let x = env.Env.read (baddr b 0)
+        and y = env.Env.read (baddr b 1)
+        and z = env.Env.read (baddr b 2) in
+        let f =
+          force_on ~theta:cfg.theta
+            ~summary:(fun node ->
+              ( env.Env.read (naddr node.id 0),
+                env.Env.read (naddr node.id 1),
+                env.Env.read (naddr node.id 2),
+                env.Env.read (naddr node.id 3) ))
+            ~leaf:(fun bi ->
+              ( env.Env.read (baddr bi 6),
+                env.Env.read (baddr bi 0),
+                env.Env.read (baddr bi 1),
+                env.Env.read (baddr bi 2) ))
+            ~step:(fun () -> env.Env.work 12)
+            ~b ~x ~y ~z root
+        in
+        acc.(b - b_lo) <- f
+      done;
+      env.Env.barrier ();
+      (* phase 3: integrate owned bodies *)
+      for b = b_lo to b_hi do
+        let fx, fy, fz = acc.(b - b_lo) in
+        let upd vfield ffield a =
+          let v = env.Env.read (baddr b vfield) +. (a *. cfg.dt) in
+          env.Env.write (baddr b vfield) v;
+          let x = wrap (env.Env.read (baddr b ffield) +. (v *. cfg.dt)) in
+          env.Env.write (baddr b ffield) x
+        in
+        upd 3 0 fx;
+        upd 4 1 fy;
+        upd 5 2 fz;
+        env.Env.work 12
+      done;
+      env.Env.barrier ()
+    done
+  in
+  let verify (env : Env.t) =
+    let p = env.Env.proc in
+    let b_lo = p * per_proc in
+    let b_hi = min (b_lo + per_proc) n - 1 in
+    let check label b got want =
+      if abs_float (got -. want) > 1e-9 *. (1.0 +. abs_float want) then
+        failwith
+          (Printf.sprintf "barnes %s[%d] = %.15g, oracle %.15g" label b got
+             want)
+    in
+    for b = b_lo to b_hi do
+      check "x" b (env.Env.read (baddr b 0)) ex.(b);
+      check "y" b (env.Env.read (baddr b 1)) ey.(b);
+      check "z" b (env.Env.read (baddr b 2)) ez.(b);
+      check "vx" b (env.Env.read (baddr b 3)) evx.(b);
+      check "vy" b (env.Env.read (baddr b 4)) evy.(b);
+      check "vz" b (env.Env.read (baddr b 5)) evz.(b)
+    done
+  in
+  { body; verify }

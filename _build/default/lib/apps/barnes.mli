@@ -1,0 +1,28 @@
+(** Barnes: gravitational N-body simulation with the Barnes-Hut O(N log N)
+    algorithm (SPLASH).
+
+    Bodies are block-distributed; each iteration an octree is rebuilt over
+    all body positions and every processor computes forces on its own bodies
+    by traversing the tree, reading node summaries (mass, centre of mass)
+    and leaf bodies from shared memory.  The tree data is read-mostly and
+    very widely shared — the workload that drives directory sharer-set
+    overflow (the LimitLESS-style pointer→bit-vector fallback) and rewards a
+    large stache.  Table 3: 2048 (small) / 8192 (large) bodies. *)
+
+type config = {
+  bodies : int;
+  iters : int;
+  theta : float;  (** opening criterion *)
+  dt : float;
+  seed : int;
+}
+
+val small : config
+
+val large : config
+
+val scale : config -> float -> config
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+val make : config -> nprocs:int -> instance

@@ -1,0 +1,204 @@
+module Prng = Tt_util.Prng
+
+type config = {
+  total_nodes : int;
+  degree : int;
+  pct_remote : int;
+  iters : int;
+  seed : int;
+  software_prefetch : bool;
+}
+
+let small =
+  { total_nodes = 64_000; degree = 10; pct_remote = 10; iters = 3; seed = 7;
+    software_prefetch = false }
+
+let large =
+  { total_nodes = 192_000; degree = 15; pct_remote = 10; iters = 3; seed = 7;
+    software_prefetch = false }
+
+let scale cfg factor =
+  let n = max 64 (int_of_float (float_of_int cfg.total_nodes *. factor)) in
+  { cfg with total_nodes = n }
+
+type instance = {
+  body : Env.t -> unit;
+  verify : Env.t -> unit;
+  edges : int;
+}
+
+(* One side of the bipartite graph: for each global node, the global indices
+   of its neighbours on the other side and the edge weights. *)
+type side = { targets : int array array; weights : float array array }
+
+let build_side prng ~n_side ~degree ~pct_remote ~nprocs ~per_proc =
+  let p_remote = float_of_int pct_remote /. 100.0 in
+  let targets =
+    Array.init n_side (fun i ->
+        let owner = i / per_proc in
+        Array.init degree (fun _ ->
+            if nprocs > 1 && Prng.chance prng p_remote then begin
+              (* a neighbour owned by some other processor *)
+              let q =
+                let q = Prng.int prng (nprocs - 1) in
+                if q >= owner then q + 1 else q
+              in
+              (q * per_proc) + Prng.int prng per_proc
+            end
+            else (owner * per_proc) + Prng.int prng per_proc))
+  in
+  let weights =
+    Array.init n_side (fun _ ->
+        Array.init degree (fun _ -> 0.5 +. Prng.float prng 1.0))
+  in
+  { targets; weights }
+
+(* The per-phase kernel both the SPMD body and the oracle use: the
+   value-update rule of Program 1. *)
+let updated_value ~old_value ~neighbour_values ~weights =
+  let v = ref old_value in
+  for k = 0 to Array.length weights - 1 do
+    v := !v -. (neighbour_values k *. weights.(k))
+  done;
+  !v
+
+let initial_e i = 1.0 +. (float_of_int (i mod 97) /. 97.0)
+
+let initial_h j = 2.0 -. (float_of_int (j mod 89) /. 89.0)
+
+(* Sequential oracle: plain arrays, same phase order as the parallel code. *)
+let oracle cfg ~e_side ~h_side ~n_side ~rounds =
+  let e = Array.init n_side initial_e and h = Array.init n_side initial_h in
+  ignore cfg;
+  for _round = 1 to rounds do
+    for i = 0 to n_side - 1 do
+      e.(i) <-
+        updated_value ~old_value:e.(i)
+          ~neighbour_values:(fun k -> h.(e_side.targets.(i).(k)))
+          ~weights:e_side.weights.(i)
+    done;
+    for j = 0 to n_side - 1 do
+      h.(j) <-
+        updated_value ~old_value:h.(j)
+          ~neighbour_values:(fun k -> e.(h_side.targets.(j).(k)))
+          ~weights:h_side.weights.(j)
+    done
+  done;
+  e, h
+
+let make cfg ~nprocs =
+  let n_side_raw = cfg.total_nodes / 2 in
+  let per_proc = max 1 ((n_side_raw + nprocs - 1) / nprocs) in
+  let n_side = per_proc * nprocs in
+  let prng = Prng.create ~seed:cfg.seed in
+  let e_side =
+    build_side prng ~n_side ~degree:cfg.degree ~pct_remote:cfg.pct_remote
+      ~nprocs ~per_proc
+  in
+  let h_side =
+    build_side prng ~n_side ~degree:cfg.degree ~pct_remote:cfg.pct_remote
+      ~nprocs ~per_proc
+  in
+  let rounds = cfg.iters + 1 (* one warm-up + steady iterations *) in
+  let e_expect, h_expect = oracle cfg ~e_side ~h_side ~n_side ~rounds in
+  (* chunk base addresses, published by proc 0 during setup *)
+  let e_base = Array.make nprocs 0
+  and h_base = Array.make nprocs 0
+  and we_base = Array.make nprocs 0
+  and wh_base = Array.make nprocs 0 in
+  let chunk_bytes = per_proc * Env.word in
+  let weight_bytes = per_proc * cfg.degree * Env.word in
+  let addr base i = base.(i / per_proc) + ((i mod per_proc) * Env.word) in
+  let weight_addr base ~owner ~local_i k =
+    base.(owner) + (((local_i * cfg.degree) + k) * Env.word)
+  in
+  let body (env : Env.t) =
+    let p = env.Env.proc in
+    let custom = env.Env.has_hook "em3d.sync:e" in
+    if p = 0 then
+      for q = 0 to nprocs - 1 do
+        e_base.(q) <- env.Env.alloc_kind "em3d:e" ~home:q chunk_bytes;
+        h_base.(q) <- env.Env.alloc_kind "em3d:h" ~home:q chunk_bytes;
+        we_base.(q) <- env.Env.alloc ~home:q weight_bytes;
+        wh_base.(q) <- env.Env.alloc ~home:q weight_bytes
+      done;
+    env.Env.barrier ();
+    (* owners initialize their values and weights *)
+    let lo = p * per_proc in
+    for li = 0 to per_proc - 1 do
+      let i = lo + li in
+      env.Env.write (addr e_base i) (initial_e i);
+      env.Env.write (addr h_base i) (initial_h i);
+      for k = 0 to cfg.degree - 1 do
+        env.Env.write
+          (weight_addr we_base ~owner:p ~local_i:li k)
+          e_side.weights.(i).(k);
+        env.Env.write
+          (weight_addr wh_base ~owner:p ~local_i:li k)
+          h_side.weights.(i).(k)
+      done
+    done;
+    env.Env.barrier ();
+    let compute (side : side) ~value_base ~neigh_base ~w_base =
+      for li = 0 to per_proc - 1 do
+        let i = lo + li in
+        (* hide fetch latency for the NEXT node's neighbours (§4) *)
+        if cfg.software_prefetch && li + 1 < per_proc then begin
+          let next = i + 1 in
+          Array.iter
+            (fun target -> env.Env.prefetch (addr neigh_base target))
+            side.targets.(next)
+        end;
+        let a = addr value_base i in
+        let old_value = env.Env.read a in
+        let v =
+          updated_value ~old_value
+            ~neighbour_values:(fun k ->
+              env.Env.work 2 (* pointer chase through the adjacency list *);
+              env.Env.read (addr neigh_base side.targets.(i).(k))
+              *. 1.0)
+            ~weights:(Array.init cfg.degree (fun k ->
+                env.Env.read (weight_addr w_base ~owner:p ~local_i:li k)))
+        in
+        env.Env.work (4 * cfg.degree) (* multiply-accumulate flops *);
+        env.Env.write a v
+      done
+    in
+    let compute_e () =
+      compute e_side ~value_base:e_base ~neigh_base:h_base ~w_base:we_base
+    in
+    let compute_h () =
+      compute h_side ~value_base:h_base ~neigh_base:e_base ~w_base:wh_base
+    in
+    (* warm-up iteration under full barriers: establishes every stached
+       copy, so the update protocol's expectation counts are stable *)
+    compute_e ();
+    env.Env.barrier ();
+    compute_h ();
+    env.Env.barrier ();
+    if custom then env.Env.hook "em3d.sync:h";
+    (* steady state: the measured iterations *)
+    for _it = 1 to cfg.iters do
+      compute_e ();
+      if custom then env.Env.hook "em3d.sync:e" else env.Env.barrier ();
+      compute_h ();
+      if custom then env.Env.hook "em3d.sync:h" else env.Env.barrier ()
+    done;
+    env.Env.barrier ()
+  in
+  let verify (env : Env.t) =
+    let p = env.Env.proc in
+    let lo = p * per_proc in
+    for li = 0 to per_proc - 1 do
+      let i = lo + li in
+      let check label got want =
+        if abs_float (got -. want) > 1e-9 *. (1.0 +. abs_float want) then
+          failwith
+            (Printf.sprintf "em3d %s[%d] = %.15g, oracle %.15g" label i got
+               want)
+      in
+      check "e" (env.Env.read (addr e_base i)) e_expect.(i);
+      check "h" (env.Env.read (addr h_base i)) h_expect.(i)
+    done
+  in
+  { body; verify; edges = 2 * n_side * cfg.degree }

@@ -1,0 +1,49 @@
+(** EM3D: electromagnetic wave propagation on a bipartite graph (§4, [7]).
+
+    E nodes hold electric-field values, H nodes magnetic-field values.  Each
+    iteration recomputes every E value as a weighted sum of its H neighbours,
+    then every H value from its E neighbours.  Nodes are block-distributed
+    and each processor updates the nodes it owns (owners-compute), fetching
+    neighbour values that may live on other processors — the paper's
+    motivating irregular workload.
+
+    The fraction of edges whose endpoint lives on a remote processor is the
+    Figure 4 x-axis ([pct_remote]).
+
+    The same body runs on every machine: under DirNNB or Typhoon/Stache the
+    end-of-phase synchronization is a barrier; when the machine provides the
+    EM3D update protocol (hooks ["em3d.sync:e"]/["em3d.sync:h"]) the body
+    allocates its value arrays on custom pages and replaces the steady-state
+    barriers with the protocol's flush-and-wait. *)
+
+type config = {
+  total_nodes : int;  (** E nodes + H nodes *)
+  degree : int;
+  pct_remote : int;  (** 0..100, share of edges crossing processors *)
+  iters : int;  (** steady-state iterations after one warm-up iteration *)
+  seed : int;
+  software_prefetch : bool;
+      (** issue nonbinding prefetches one graph node ahead — §4's
+          observation: "prefetching can hide communication latency, but
+          does not reduce the message traffic" *)
+}
+
+val small : config
+(** Table 3: 64,000 nodes, degree 10. *)
+
+val large : config
+(** Table 3: 192,000 nodes, degree 15. *)
+
+val scale : config -> float -> config
+(** Shrink [total_nodes] by a factor (for wall-clock-bounded runs); degree,
+    structure and seed are preserved. *)
+
+type instance = {
+  body : Env.t -> unit;
+  verify : Env.t -> unit;
+      (** second SPMD pass: compare every owned value against the sequential
+          oracle; raises [Failure] on mismatch *)
+  edges : int;  (** total directed edges (both phases), for cycles/edge *)
+}
+
+val make : config -> nprocs:int -> instance

@@ -1,0 +1,19 @@
+type t = {
+  proc : int;
+  nprocs : int;
+  read : int -> float;
+  write : int -> float -> unit;
+  read_int : int -> int;
+  write_int : int -> int -> unit;
+  work : int -> unit;
+  prefetch : int -> unit;
+  barrier : unit -> unit;
+  lock : int -> unit;
+  unlock : int -> unit;
+  alloc : ?home:int -> int -> int;
+  alloc_kind : string -> ?home:int -> int -> int;
+  hook : string -> unit;
+  has_hook : string -> bool;
+}
+
+let word = 8

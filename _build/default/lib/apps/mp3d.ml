@@ -1,0 +1,86 @@
+module Prng = Tt_util.Prng
+
+type config = { molecules : int; steps : int; cells_per_dim : int; seed : int }
+
+let small = { molecules = 10_000; steps = 4; cells_per_dim = 12; seed = 3 }
+
+let large = { molecules = 50_000; steps = 4; cells_per_dim = 20; seed = 3 }
+
+let scale cfg factor =
+  { cfg with
+    molecules = max 128 (int_of_float (float_of_int cfg.molecules *. factor)) }
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+(* Deterministic trajectory: molecule m's cell at a given step depends only
+   on (seed, m, step), so any execution order yields the same per-cell
+   population counts. *)
+let cell_at cfg ~molecule ~step =
+  let mix = Prng.create ~seed:(cfg.seed lxor (molecule * 2654435761)) in
+  let x0 = Prng.int mix cfg.cells_per_dim
+  and y0 = Prng.int mix cfg.cells_per_dim
+  and z0 = Prng.int mix cfg.cells_per_dim
+  and dx = 1 + Prng.int mix 3
+  and dy = 1 + Prng.int mix 3
+  and dz = 1 + Prng.int mix 3 in
+  let wrap v = ((v mod cfg.cells_per_dim) + cfg.cells_per_dim) mod cfg.cells_per_dim in
+  let x = wrap (x0 + (dx * step))
+  and y = wrap (y0 + (dy * step))
+  and z = wrap (z0 + (dz * step)) in
+  ((x * cfg.cells_per_dim) + y) * cfg.cells_per_dim + z
+
+(* Oracle: per-cell visit counts over the whole run. *)
+let oracle cfg =
+  let ncells = cfg.cells_per_dim * cfg.cells_per_dim * cfg.cells_per_dim in
+  let counts = Array.make ncells 0 in
+  for m = 0 to cfg.molecules - 1 do
+    for step = 1 to cfg.steps do
+      let c = cell_at cfg ~molecule:m ~step in
+      counts.(c) <- counts.(c) + 1
+    done
+  done;
+  counts
+
+let make cfg ~nprocs =
+  let ncells = cfg.cells_per_dim * cfg.cells_per_dim * cfg.cells_per_dim in
+  let per_proc = (cfg.molecules + nprocs - 1) / nprocs in
+  let expect = oracle cfg in
+  let cells_base = ref 0 in
+  (* lock striping: one lock per 64 cells *)
+  let lock_of c = c / 64 in
+  let cell_addr c = !cells_base + (c * Env.word) in
+  let body (env : Env.t) =
+    let p = env.Env.proc in
+    if p = 0 then begin
+      (* space cells spread round-robin across nodes (pages interleave) *)
+      cells_base := env.Env.alloc (ncells * Env.word);
+      for c = 0 to ncells - 1 do
+        env.Env.write_int (cell_addr c) 0
+      done
+    end;
+    env.Env.barrier ();
+    let m_lo = p * per_proc in
+    let m_hi = min (m_lo + per_proc) cfg.molecules - 1 in
+    for step = 1 to cfg.steps do
+      for m = m_lo to m_hi do
+        (* advance the molecule: local position/velocity arithmetic *)
+        env.Env.work 20;
+        let c = cell_at cfg ~molecule:m ~step in
+        env.Env.lock (lock_of c);
+        env.Env.write_int (cell_addr c) (env.Env.read_int (cell_addr c) + 1);
+        env.Env.unlock (lock_of c)
+      done;
+      env.Env.barrier ()
+    done
+  in
+  let verify (env : Env.t) =
+    if env.Env.proc = 0 then
+      for c = 0 to ncells - 1 do
+        let got = env.Env.read_int (cell_addr c) in
+        if got <> expect.(c) then
+          failwith
+            (Printf.sprintf "mp3d cell %d count = %d, oracle %d" c got
+               expect.(c))
+      done
+  in
+  { body; verify }

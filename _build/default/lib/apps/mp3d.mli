@@ -1,0 +1,28 @@
+(** MP3D (SPLASH): rarefied hypersonic flow in a wind tunnel.
+
+    The sharing pattern that matters for coherence studies: each processor
+    owns a set of molecules (local data) that fly through a shared 3-D grid
+    of space cells, and every move scatters updates into the cells —
+    fine-grain, migratory, poorly-cached writes that made MP3D a notorious
+    coherence stress test.  We keep exactly that structure: deterministic
+    per-molecule trajectories (no inter-molecule collisions, which MP3D
+    resolves stochastically anyway) and per-cell population/momentum
+    accumulators updated under a cell-region lock.  Table 3: 10,000 (small)
+    and 50,000 (large) molecules. *)
+
+type config = {
+  molecules : int;
+  steps : int;
+  cells_per_dim : int;  (** the space array is [cells_per_dim³] cells *)
+  seed : int;
+}
+
+val small : config
+
+val large : config
+
+val scale : config -> float -> config
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+val make : config -> nprocs:int -> instance

@@ -1,0 +1,117 @@
+type config = { n : int; iters : int; seed : int }
+
+let small = { n = 98; iters = 4; seed = 5 }
+
+let large = { n = 386; iters = 4; seed = 5 }
+
+let scale cfg factor =
+  { cfg with n = max 16 (int_of_float (float_of_int cfg.n *. sqrt factor)) }
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+let initial ~n r c =
+  (* smooth deterministic initial field with a few bumps *)
+  let x = float_of_int c /. float_of_int n
+  and y = float_of_int r /. float_of_int n in
+  sin (6.0 *. x) +. cos (4.0 *. y) +. (x *. y)
+
+(* Jacobi sweep on host arrays: the sequential oracle. *)
+let oracle cfg =
+  let n = cfg.n in
+  let cur = Array.init (n * n) (fun i -> initial ~n (i / n) (i mod n)) in
+  let nxt = Array.make (n * n) 0.0 in
+  let a = ref cur and b = ref nxt in
+  for _it = 1 to cfg.iters do
+    let src = !a and dst = !b in
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        let v =
+          if r = 0 || c = 0 || r = n - 1 || c = n - 1 then src.((r * n) + c)
+          else
+            0.25
+            *. (src.(((r - 1) * n) + c)
+               +. src.(((r + 1) * n) + c)
+               +. src.((r * n) + c - 1)
+               +. src.((r * n) + c + 1))
+        in
+        dst.((r * n) + c) <- v
+      done
+    done;
+    let t = !a in
+    a := !b;
+    b := t
+  done;
+  !a
+
+let make cfg ~nprocs =
+  let n = cfg.n in
+  let rows_per = (n + nprocs - 1) / nprocs in
+  let expect = oracle cfg in
+  (* Each generation of the grid is split into row bands, band q homed on
+     processor q.  [bands.(gen).(q)] is the band's base address. *)
+  let bands = Array.make_matrix 2 nprocs 0 in
+  let addr gen r c =
+    bands.(gen).(r / rows_per) + ((((r mod rows_per) * n) + c) * Env.word)
+  in
+  let band_range p =
+    let lo = min (p * rows_per) n in
+    let hi = min (lo + rows_per) n - 1 in
+    lo, hi
+  in
+  let body (env : Env.t) =
+    let p = env.Env.proc in
+    let r_lo, r_hi = band_range p in
+    if p = 0 then
+      for gen = 0 to 1 do
+        for q = 0 to nprocs - 1 do
+          let lo, hi = band_range q in
+          let rows = max 0 (hi - lo + 1) in
+          if rows > 0 then
+            bands.(gen).(q) <- env.Env.alloc ~home:q (rows * n * Env.word)
+        done
+      done;
+    env.Env.barrier ();
+    for r = r_lo to r_hi do
+      for c = 0 to n - 1 do
+        env.Env.write (addr 0 r c) (initial ~n r c);
+        env.Env.write (addr 1 r c) 0.0
+      done
+    done;
+    env.Env.barrier ();
+    for it = 1 to cfg.iters do
+      let src = (it - 1) mod 2 and dst = it mod 2 in
+      for r = r_lo to r_hi do
+        for c = 0 to n - 1 do
+          let v =
+            if r = 0 || c = 0 || r = n - 1 || c = n - 1 then
+              env.Env.read (addr src r c)
+            else begin
+              env.Env.work 6;
+              0.25
+              *. (env.Env.read (addr src (r - 1) c)
+                 +. env.Env.read (addr src (r + 1) c)
+                 +. env.Env.read (addr src r (c - 1))
+                 +. env.Env.read (addr src r (c + 1)))
+            end
+          in
+          env.Env.write (addr dst r c) v
+        done
+      done;
+      env.Env.barrier ()
+    done
+  in
+  let verify (env : Env.t) =
+    let p = env.Env.proc in
+    let r_lo, r_hi = band_range p in
+    let gen = cfg.iters mod 2 in
+    for r = r_lo to r_hi do
+      for c = 0 to n - 1 do
+        let got = env.Env.read (addr gen r c) in
+        let want = expect.((r * n) + c) in
+        if abs_float (got -. want) > 1e-9 *. (1.0 +. abs_float want) then
+          failwith
+            (Printf.sprintf "ocean[%d,%d] = %.15g, oracle %.15g" r c got want)
+      done
+    done
+  in
+  { body; verify }

@@ -1,0 +1,20 @@
+(** Ocean (SPLASH): hydrodynamic simulation of a cuboidal ocean basin
+    cross-section.
+
+    The kernel is the dominant phase of the SPLASH code: iterated 5-point
+    Jacobi relaxation over a 2-D grid, row-block partitioned, with nearest-
+    neighbour sharing along partition boundaries and a global residual
+    reduction each sweep.  Table 3 data sets: 98×98 (small), 386×386
+    (large). *)
+
+type config = { n : int;  (** grid side *) iters : int; seed : int }
+
+val small : config
+
+val large : config
+
+val scale : config -> float -> config
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+val make : config -> nprocs:int -> instance

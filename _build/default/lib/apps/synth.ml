@@ -1,0 +1,113 @@
+module Prng = Tt_util.Prng
+
+type sharing = Private_writes | Locked_counters
+
+type config = {
+  words_per_proc : int;
+  ops_per_proc : int;
+  write_pct : int;
+  remote_pct : int;
+  run_length : int;
+  think : int;
+  sharing : sharing;
+  seed : int;
+}
+
+let default =
+  { words_per_proc = 512; ops_per_proc = 2000; write_pct = 30;
+    remote_pct = 20; run_length = 4; think = 4; sharing = Private_writes;
+    seed = 19 }
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+type op = { word : int (* global index *); is_write : bool }
+
+(* The deterministic per-processor operation stream: both the SPMD body and
+   the verifier replay exactly this. *)
+let ops_for cfg ~nprocs ~proc =
+  let prng = Prng.create ~seed:((cfg.seed * 131) + proc) in
+  let partition = ref proc and base = ref 0 in
+  Array.init cfg.ops_per_proc (fun i ->
+      if i mod cfg.run_length = 0 then begin
+        (* new placement: local, or a uniformly random remote partition *)
+        (partition :=
+           if nprocs > 1 && Prng.int prng 100 < cfg.remote_pct then begin
+             let q = Prng.int prng (nprocs - 1) in
+             if q >= proc then q + 1 else q
+           end
+           else proc);
+        base := Prng.int prng cfg.words_per_proc
+      end;
+      let is_write = Prng.int prng 100 < cfg.write_pct in
+      let offset = (!base + (i mod cfg.run_length)) mod cfg.words_per_proc in
+      match cfg.sharing, is_write with
+      | Private_writes, true ->
+          (* writes stay in the local partition (owners-compute) *)
+          { word = (proc * cfg.words_per_proc) + offset; is_write = true }
+      | (Private_writes | Locked_counters), _ ->
+          { word = (!partition * cfg.words_per_proc) + offset; is_write })
+
+let encode_write ~proc ~op_index =
+  float_of_int ((proc * 1_000_000) + op_index + 1)
+
+let make cfg ~nprocs =
+  if cfg.run_length <= 0 || cfg.words_per_proc <= 0 then
+    invalid_arg "Synth.make: bad configuration";
+  let streams = Array.init nprocs (fun proc -> ops_for cfg ~nprocs ~proc) in
+  let total_words = nprocs * cfg.words_per_proc in
+  let bases = Array.make nprocs 0 in
+  let addr w =
+    bases.(w / cfg.words_per_proc) + (w mod cfg.words_per_proc * Env.word)
+  in
+  let body (env : Env.t) =
+    let proc = env.Env.proc in
+    if proc = 0 then
+      (* one partition per processor, homed there *)
+      for q = 0 to nprocs - 1 do
+        bases.(q) <- env.Env.alloc ~home:q (cfg.words_per_proc * Env.word)
+      done;
+    env.Env.barrier ();
+    (* owners zero their partitions *)
+    for w = proc * cfg.words_per_proc to ((proc + 1) * cfg.words_per_proc) - 1
+    do
+      env.Env.write (addr w) 0.0
+    done;
+    env.Env.barrier ();
+    Array.iteri
+      (fun i { word; is_write } ->
+        env.Env.work cfg.think;
+        match cfg.sharing, is_write with
+        | Private_writes, true ->
+            env.Env.write (addr word) (encode_write ~proc ~op_index:i)
+        | Private_writes, false -> ignore (env.Env.read (addr word))
+        | Locked_counters, true ->
+            env.Env.lock word;
+            env.Env.write (addr word) (env.Env.read (addr word) +. 1.0);
+            env.Env.unlock word
+        | Locked_counters, false -> ignore (env.Env.read (addr word)))
+      streams.(proc);
+    env.Env.barrier ()
+  in
+  let verify (env : Env.t) =
+    if env.Env.proc = 0 then begin
+      let expect = Array.make total_words 0.0 in
+      Array.iteri
+        (fun proc stream ->
+          Array.iteri
+            (fun i { word; is_write } ->
+              if is_write then
+                match cfg.sharing with
+                | Private_writes ->
+                    expect.(word) <- encode_write ~proc ~op_index:i
+                | Locked_counters -> expect.(word) <- expect.(word) +. 1.0)
+            stream)
+        streams;
+      for w = 0 to total_words - 1 do
+        let got = env.Env.read (addr w) in
+        if got <> expect.(w) then
+          failwith
+            (Printf.sprintf "synth word %d = %g, expected %g" w got expect.(w))
+      done
+    end
+  in
+  { body; verify }

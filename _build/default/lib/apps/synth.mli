@@ -1,0 +1,35 @@
+(** Synthetic shared-memory workload generator.
+
+    The five ported benchmarks fix their sharing patterns; this generator
+    exposes the pattern as parameters so the design space between the
+    machines can be explored directly (the [tt sweep] command drives it).
+    Data is partitioned across processors, each partition homed locally;
+    accesses hit the local partition or a uniformly random remote one.
+
+    Two sharing disciplines keep results deterministic and verifiable:
+    - [Private_writes]: processors write only their own partition (remote
+      traffic is read-only sharing, like stencil ghost cells);
+    - [Locked_counters]: remote writes are lock-protected increments
+      (migratory sharing, like MP3D's space cells). *)
+
+type sharing = Private_writes | Locked_counters
+
+type config = {
+  words_per_proc : int;
+  ops_per_proc : int;
+  write_pct : int;  (** share of operations that write, 0..100 *)
+  remote_pct : int;  (** share of operations aimed at a remote partition *)
+  run_length : int;  (** consecutive addresses per placement choice (spatial
+                         locality / block reuse) *)
+  think : int;  (** compute cycles between operations *)
+  sharing : sharing;
+  seed : int;
+}
+
+val default : config
+(** 512 words/proc, 2000 ops/proc, 30 % writes, 20 % remote, run length 4,
+    4 think cycles, private writes. *)
+
+type instance = { body : Env.t -> unit; verify : Env.t -> unit }
+
+val make : config -> nprocs:int -> instance

@@ -1,0 +1,1 @@
+lib/cache/mbus.ml: Format Tt_mem

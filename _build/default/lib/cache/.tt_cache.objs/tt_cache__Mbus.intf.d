@@ -1,0 +1,1 @@
+lib/cache/mbus.mli: Format Tt_mem

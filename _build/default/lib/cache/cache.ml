@@ -1,0 +1,126 @@
+type state = Shared | Exclusive
+
+type line = { mutable tag : int; mutable st : state; mutable valid : bool }
+
+type t = {
+  label : string;
+  nsets : int;
+  assoc : int;
+  sets : line array array;
+  prng : Tt_util.Prng.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable evict_shared : int;
+  mutable evict_exclusive : int;
+}
+
+let create ?(name = "cache") ~size_bytes ~assoc ~prng () =
+  let block = Tt_mem.Addr.block_size in
+  if size_bytes <= 0 || assoc <= 0 || size_bytes mod (assoc * block) <> 0 then
+    invalid_arg "Cache.create: size must be a positive multiple of assoc*32";
+  let nsets = size_bytes / (assoc * block) in
+  let sets =
+    Array.init nsets (fun _ ->
+        Array.init assoc (fun _ -> { tag = 0; st = Shared; valid = false }))
+  in
+  { label = name; nsets; assoc; sets; prng; hit_count = 0; miss_count = 0;
+    evict_shared = 0; evict_exclusive = 0 }
+
+let sets t = t.nsets
+
+let name t = t.label
+
+let set_of t block = t.sets.(block mod t.nsets)
+
+let find_line t block =
+  let set = set_of t block in
+  let rec go i =
+    if i >= t.assoc then None
+    else if set.(i).valid && set.(i).tag = block then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let probe t ~block =
+  match find_line t block with Some l -> Some l.st | None -> None
+
+let lookup t ~block =
+  match probe t ~block with
+  | Some _ as r ->
+      t.hit_count <- t.hit_count + 1;
+      r
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      None
+
+let insert t ~block ~state =
+  match find_line t block with
+  | Some l ->
+      l.st <- state;
+      None
+  | None ->
+      let set = set_of t block in
+      let slot =
+        let rec free i = if i >= t.assoc then None else if not set.(i).valid then Some i else free (i + 1) in
+        match free 0 with
+        | Some i -> i
+        | None -> Tt_util.Prng.int t.prng t.assoc
+      in
+      let line = set.(slot) in
+      let evicted =
+        if line.valid then begin
+          (match line.st with
+          | Shared -> t.evict_shared <- t.evict_shared + 1
+          | Exclusive -> t.evict_exclusive <- t.evict_exclusive + 1);
+          Some (line.tag, line.st)
+        end
+        else None
+      in
+      line.tag <- block;
+      line.st <- state;
+      line.valid <- true;
+      evicted
+
+let set_state t ~block state =
+  match find_line t block with
+  | Some l -> l.st <- state
+  | None -> invalid_arg "Cache.set_state: block not cached"
+
+let invalidate t ~block =
+  match find_line t block with
+  | Some l ->
+      l.valid <- false;
+      true
+  | None -> false
+
+let downgrade t ~block =
+  match find_line t block with Some l -> l.st <- Shared | None -> ()
+
+let iter t f =
+  Array.iter
+    (fun set ->
+      Array.iter (fun l -> if l.valid then f l.tag l.st) set)
+    t.sets
+
+let flush_page t ~vpage =
+  let lo = vpage * Tt_mem.Addr.blocks_per_page in
+  let hi = lo + Tt_mem.Addr.blocks_per_page - 1 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun l -> if l.valid && l.tag >= lo && l.tag <= hi then l.valid <- false)
+        set)
+    t.sets
+
+let occupancy t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+let hits t = t.hit_count
+
+let misses t = t.miss_count
+
+let evictions_shared t = t.evict_shared
+
+let evictions_exclusive t = t.evict_exclusive

@@ -1,0 +1,66 @@
+(** Set-associative CPU cache (timing/state model).
+
+    Table 2: 4-way associative, random replacement, 32-byte blocks.  The
+    cache tracks coherence *state* only; data values are kept coherent in
+    the node memories by a write-through-for-values simplification (see
+    DESIGN.md §4), so lines carry no payload.
+
+    Lines are keyed by global block number ([vaddr / 32]); a node maps each
+    virtual page to at most one place at a time, so this is equivalent to
+    physical indexing (pages are flushed on remap). *)
+
+type state =
+  | Shared  (** clean, possibly other copies; read-only in the cache *)
+  | Exclusive  (** owned; the CPU may write it *)
+
+type t
+
+val create :
+  ?name:string ->
+  size_bytes:int ->
+  assoc:int ->
+  prng:Tt_util.Prng.t ->
+  unit ->
+  t
+(** [size_bytes] must be a multiple of [assoc * 32]. *)
+
+val sets : t -> int
+
+val lookup : t -> block:int -> state option
+(** [None] means miss.  Counts hit/miss statistics. *)
+
+val probe : t -> block:int -> state option
+(** Like {!lookup} but without touching statistics (snoops, invariants). *)
+
+val insert : t -> block:int -> state:state -> (int * state) option
+(** Fill a line after a miss.  If the block is already present its state is
+    updated and [None] is returned; otherwise a random victim may be evicted
+    and is returned as [(block, state)] for replacement costing and
+    writeback decisions. *)
+
+val set_state : t -> block:int -> state -> unit
+(** @raise Invalid_argument if the block is not cached. *)
+
+val invalidate : t -> block:int -> bool
+(** Drop the line if present; returns [true] if it was present. *)
+
+val downgrade : t -> block:int -> unit
+(** Exclusive → Shared if present (no-op otherwise). *)
+
+val flush_page : t -> vpage:int -> unit
+(** Invalidate every cached block of a virtual page (page remap). *)
+
+val iter : t -> (int -> state -> unit) -> unit
+(** Visit all valid lines (for invariant checks). *)
+
+val occupancy : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions_shared : t -> int
+
+val evictions_exclusive : t -> int
+
+val name : t -> string

@@ -1,0 +1,1 @@
+lib/custom/em3d_proto.ml: Array Bytes Hashtbl List Printf Tempest Tt_mem Tt_net Tt_sim Tt_stache Tt_typhoon Tt_util

@@ -1,0 +1,1 @@
+lib/custom/em3d_proto.mli: Tt_sim Tt_stache Tt_typhoon Tt_util

@@ -1,0 +1,1 @@
+lib/dirnnb/directory.ml: Hashtbl Queue Tt_util

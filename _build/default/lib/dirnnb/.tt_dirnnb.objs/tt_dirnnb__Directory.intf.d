@@ -1,0 +1,1 @@
+lib/dirnnb/directory.mli: Queue Tt_util

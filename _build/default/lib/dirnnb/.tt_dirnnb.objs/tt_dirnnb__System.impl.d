@@ -1,0 +1,1 @@
+lib/dirnnb/system.ml: Array Bytes Directory Hashtbl List Option Params Printf Queue Tt_cache Tt_mem Tt_net Tt_sim Tt_util

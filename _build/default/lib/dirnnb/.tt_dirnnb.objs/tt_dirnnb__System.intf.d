@@ -1,0 +1,1 @@
+lib/dirnnb/system.mli: Directory Params Tt_cache Tt_mem Tt_net Tt_sim Tt_util

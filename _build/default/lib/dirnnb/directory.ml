@@ -1,0 +1,32 @@
+type kind = Read | Read_ex | Upgrade
+
+type txn = { kind : kind; requester : int; mutable acks_left : int }
+
+type entry = {
+  sharers : Tt_util.Bitset.t;
+  mutable owner : int option;
+  mutable busy : txn option;
+  mutable overflowed : bool;
+  waiting : (kind * int) Queue.t;
+}
+
+type t = { node_count : int; entries : (int, entry) Hashtbl.t }
+
+let create ~nodes = { node_count = nodes; entries = Hashtbl.create 4096 }
+
+let entry t ~block =
+  match Hashtbl.find_opt t.entries block with
+  | Some e -> e
+  | None ->
+      let e =
+        { sharers = Tt_util.Bitset.create t.node_count; owner = None;
+          busy = None; overflowed = false; waiting = Queue.create () }
+      in
+      Hashtbl.replace t.entries block e;
+      e
+
+let find t ~block = Hashtbl.find_opt t.entries block
+
+let iter t f = Hashtbl.iter f t.entries
+
+let nodes t = t.node_count

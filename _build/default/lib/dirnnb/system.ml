@@ -1,0 +1,770 @@
+module Engine = Tt_sim.Engine
+module Thread = Tt_sim.Thread
+module Addr = Tt_mem.Addr
+module Tag = Tt_mem.Tag
+module Pagemem = Tt_mem.Pagemem
+module Tlb = Tt_mem.Tlb
+module Cache = Tt_cache.Cache
+module Message = Tt_net.Message
+module Fabric = Tt_net.Fabric
+module Stats = Tt_util.Stats
+module Bitset = Tt_util.Bitset
+
+(* Per-block protocol trace (TT_DEBUG_BLOCK = global block number). *)
+let dbg block fmt = Tt_util.Debug.log ~key:block fmt
+
+(* Message vocabulary of the hardware protocol. *)
+let h_read = 0 (* requester -> home: read miss          args [block]        *)
+
+let h_readex = 1 (* requester -> home: write miss       args [block]        *)
+
+let h_upgrade = 2 (* requester -> home: upgrade          args [block]        *)
+
+let h_recall = 3 (* home -> owner                       args [block; ex?]   *)
+
+let h_inval = 4 (* home -> sharer                       args [block]        *)
+
+let h_recall_data = 5 (* owner -> home                  args [block] + data *)
+
+let h_inval_ack = 6 (* sharer -> home                   args [block]        *)
+
+let h_data = 7 (* home -> requester                     args [block; ex?] + data *)
+
+let h_upgrade_ok = 8 (* home -> requester               args [block]        *)
+
+let h_writeback = 9 (* evictor -> home                  args [block] + data *)
+
+(* Fill grants delivered back to a stalled CPU. *)
+let grant_shared = 0
+
+let grant_exclusive = 1
+
+let grant_upgrade = 2
+
+(* A minimal run-to-completion controller: the hardware directory engine of
+   one node.  Same sequencing discipline as the Typhoon NP but fixed
+   function. *)
+module Ctrl = struct
+  type t = {
+    engine : Engine.t;
+    mutable clock : int;
+    mutable busy : bool;
+    queue : Message.t Queue.t;
+    mutable exec : Message.t -> unit;
+  }
+
+  let create engine =
+    { engine; clock = 0; busy = false; queue = Queue.create ();
+      exec = (fun _ -> invalid_arg "Ctrl: exec not installed") }
+
+  let charge t n = t.clock <- t.clock + n
+
+  let rec dispatch t () =
+    match Queue.take_opt t.queue with
+    | None -> t.busy <- false
+    | Some msg ->
+        t.exec msg;
+        Engine.at t.engine t.clock (dispatch t)
+
+  let post t msg =
+    Queue.add msg t.queue;
+    if not t.busy then begin
+      t.busy <- true;
+      t.clock <- max t.clock (Engine.now t.engine);
+      Engine.at t.engine t.clock (dispatch t)
+    end
+end
+
+type node = {
+  id : int;
+  mem : Pagemem.t; (* backing store for pages homed here *)
+  tlb : Tlb.t;
+  cache : Cache.t;
+  ctrl : Ctrl.t;
+  dir : Directory.t;
+  stats : Stats.t;
+  (* blocks with an outstanding miss: wake the CPU, passing the replacement
+     cycles the fill incurred *)
+  pending : (int, int -> unit) Hashtbl.t;
+  (* writebacks of ours the home has not yet processed; the CPU must not
+     take the directory fast path for such a block or a stale writeback
+     would clear ownership it just re-acquired *)
+  wb_inflight : (int, int) Hashtbl.t;
+}
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  fabric : Fabric.t;
+  nodes : node array;
+  homes : (int, int) Hashtbl.t; (* vpage -> home node *)
+  mutable alloc_cursor : int;
+  mutable next_home : int;
+}
+
+let engine t = t.engine
+
+let params t = t.params
+
+let nnodes t = Array.length t.nodes
+
+let fabric t = t.fabric
+
+let home_mem t i = t.nodes.(i).mem
+
+let cpu_cache t i = t.nodes.(i).cache
+
+let directory t i = t.nodes.(i).dir
+
+let node_stats t i = t.nodes.(i).stats
+
+let page_home t ~vpage =
+  match Hashtbl.find_opt t.homes vpage with
+  | Some h -> h
+  | None ->
+      invalid_arg (Printf.sprintf "Dirnnb: vpage 0x%x is not allocated" vpage)
+
+let map_shared_page t ~vpage ~home =
+  if Hashtbl.mem t.homes vpage then
+    invalid_arg (Printf.sprintf "Dirnnb: vpage 0x%x already allocated" vpage);
+  Hashtbl.replace t.homes vpage home;
+  ignore
+    (Pagemem.map t.nodes.(home).mem ~vpage ~home ~mode:0
+       ~init_tag:Tag.Read_write)
+
+let block_data = Bytes.make Addr.block_size '\000'
+(* Data payloads are pure word accounting in DirNNB: values are canonical at
+   the home memory (write-through-for-values model, DESIGN.md §4). *)
+
+let send t ~src ~at ~dst ~vnet ~handler ~args ~with_data =
+  let data = if with_data then block_data else Bytes.empty in
+  Fabric.send t.fabric ~at
+    (Message.make ~src ~dst ~vnet ~handler ~args ~data ())
+
+(* Eviction of an exclusively-held line: hardware writeback to home. *)
+let writeback t node ~at block =
+  dbg block "t=%d writeback from node=%d" at node.id;
+  Stats.incr node.stats "writebacks";
+  Hashtbl.replace node.wb_inflight block
+    (1 + Option.value ~default:0 (Hashtbl.find_opt node.wb_inflight block));
+  let home = page_home t ~vpage:(block * Addr.block_size / Addr.page_size) in
+  send t ~src:node.id ~at ~dst:home ~vnet:Message.Request ~handler:h_writeback
+    ~args:[| block |] ~with_data:true
+
+(* Fill a granted line at the requesting node's controller; returns the
+   replacement cost (charged to the CPU when it resumes). *)
+let ctrl_fill t node block grant =
+  dbg block "t=%d fill node=%d grant=%d" node.ctrl.Ctrl.clock node.id grant;
+  let state =
+    if grant = grant_shared then Cache.Shared else Cache.Exclusive
+  in
+  if grant = grant_upgrade && Cache.probe node.cache ~block <> None then begin
+    Cache.set_state node.cache ~block Cache.Exclusive;
+    0
+  end
+  else
+    match Cache.insert node.cache ~block ~state with
+    | None -> 0
+    | Some (victim, Cache.Shared) ->
+        ignore victim;
+        t.params.Params.repl_shared
+    | Some (victim, Cache.Exclusive) ->
+        writeback t node ~at:node.ctrl.Ctrl.clock victim;
+        t.params.Params.repl_exclusive
+
+(* Deliver a fill grant to the requester.  When the requester is the home
+   node itself the grant is applied synchronously (the local cache fills as
+   part of the bus transaction); a self-message would leave a window in
+   which a drained queued request sees a cache state older than the
+   directory state. *)
+let deliver_grant t home ~requester block grant =
+  let p = t.params in
+  let ctrl = home.ctrl in
+  let with_data = grant <> grant_upgrade in
+  Ctrl.charge ctrl
+    (p.Params.dir_per_msg + if with_data then p.Params.dir_block_send else 0);
+  if requester = home.id then begin
+    match Hashtbl.find_opt home.pending block with
+    | Some wake ->
+        Hashtbl.remove home.pending block;
+        let repl = ctrl_fill t home block grant in
+        wake repl
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Dirnnb: home %d self-grant for 0x%x with no miss"
+             home.id block)
+  end
+  else if grant = grant_upgrade then
+    send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:requester
+      ~vnet:Message.Response ~handler:h_upgrade_ok ~args:[| block |]
+      ~with_data:false
+  else
+    send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:requester
+      ~vnet:Message.Response ~handler:h_data
+      ~args:[| block; (if grant = grant_exclusive then 1 else 0) |]
+      ~with_data:true
+
+(* Register a sharer, honouring the limited-pointer ablation: past the
+   pointer limit the entry degrades to "broadcast on invalidation". *)
+let note_sharer t home (entry : Directory.entry) requester =
+  Bitset.add entry.Directory.sharers requester;
+  match t.params.Params.dir_limited_pointers with
+  | Some limit when Bitset.cardinal entry.Directory.sharers > limit ->
+      if not entry.Directory.overflowed then begin
+        entry.Directory.overflowed <- true;
+        Stats.incr home.stats "dir_overflows"
+      end
+  | Some _ | None -> ()
+
+(* The nodes an exclusive grant must invalidate: the precise sharer list,
+   or everybody when pointer overflow lost the information. *)
+let inval_victims t home (entry : Directory.entry) ~requester =
+  if entry.Directory.overflowed then begin
+    Stats.incr home.stats "broadcast_invals";
+    let all = ref [] in
+    for n = Array.length t.nodes - 1 downto 0 do
+      if n <> requester && n <> home.id then all := n :: !all
+    done;
+    !all
+  end
+  else
+    List.filter (fun s -> s <> requester)
+      (Bitset.to_list entry.Directory.sharers)
+
+let clear_sharers (entry : Directory.entry) =
+  Bitset.clear entry.Directory.sharers;
+  entry.Directory.overflowed <- false
+
+(* --- home-side directory transaction engine (runs in ctrl context) --- *)
+
+let rec start_txn t home kind requester block =
+  dbg block "t=%d start_txn home=%d kind=%s req=%d" home.ctrl.Ctrl.clock
+    home.id
+    (match kind with
+    | Directory.Read -> "read"
+    | Directory.Read_ex -> "readex"
+    | Directory.Upgrade -> "upgrade")
+    requester;
+  let p = t.params in
+  let ctrl = home.ctrl in
+  let entry = Directory.entry home.dir ~block in
+  match entry.Directory.busy with
+  | Some _ -> Queue.add (kind, requester) entry.Directory.waiting
+  | None -> (
+      let reply_data ~ex =
+        deliver_grant t home ~requester block
+          (if ex then grant_exclusive else grant_shared)
+      in
+      (* A node requesting a block it nominally owns has lost its copy (the
+         writeback is ordered ahead of this request); drop the stale
+         registration. *)
+      (if entry.Directory.owner = Some requester then
+         entry.Directory.owner <- None);
+      (* Copies in the home node's own cache are flushed by a local bus
+         transaction (cache-to-cache / snoop), not by network messages. *)
+      (if entry.Directory.owner = Some home.id && requester <> home.id then begin
+         Ctrl.charge ctrl (p.Params.remote_inval + p.Params.repl_exclusive);
+         (match kind with
+         | Directory.Read ->
+             Cache.downgrade home.cache ~block;
+             Bitset.add entry.Directory.sharers home.id
+         | Directory.Read_ex | Directory.Upgrade ->
+             ignore (Cache.invalidate home.cache ~block));
+         entry.Directory.owner <- None
+       end);
+      (match kind with
+      | Directory.Read_ex | Directory.Upgrade ->
+          if
+            requester <> home.id
+            && Bitset.mem entry.Directory.sharers home.id
+          then begin
+            Ctrl.charge ctrl (p.Params.remote_inval + p.Params.repl_shared);
+            ignore (Cache.invalidate home.cache ~block);
+            Bitset.remove entry.Directory.sharers home.id
+          end
+      | Directory.Read -> ());
+      match kind with
+      | Directory.Read -> (
+          match entry.Directory.owner with
+          | Some o when o <> requester ->
+              home.stats |> fun s -> Stats.incr s "recalls";
+              entry.Directory.busy <-
+                Some { Directory.kind; requester; acks_left = 1 };
+              Ctrl.charge ctrl p.Params.dir_per_msg;
+              send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:o
+                ~vnet:Message.Request ~handler:h_recall ~args:[| block; 0 |]
+                ~with_data:false
+          | Some _ | None ->
+              note_sharer t home entry requester;
+              reply_data ~ex:false)
+      | Directory.Read_ex -> (
+          match entry.Directory.owner with
+          | Some o when o <> requester ->
+              Stats.incr home.stats "recalls";
+              entry.Directory.busy <-
+                Some { Directory.kind; requester; acks_left = 1 };
+              Ctrl.charge ctrl p.Params.dir_per_msg;
+              send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:o
+                ~vnet:Message.Request ~handler:h_recall ~args:[| block; 1 |]
+                ~with_data:false
+          | Some _ | None ->
+              let victims = inval_victims t home entry ~requester in
+              if victims = [] then begin
+                entry.Directory.owner <- Some requester;
+                clear_sharers entry;
+                reply_data ~ex:true
+              end
+              else begin
+                entry.Directory.busy <-
+                  Some
+                    { Directory.kind; requester;
+                      acks_left = List.length victims };
+                List.iter
+                  (fun s ->
+                    Ctrl.charge ctrl p.Params.dir_per_msg;
+                    send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:s
+                      ~vnet:Message.Request ~handler:h_inval ~args:[| block |]
+                      ~with_data:false)
+                  victims
+              end)
+      | Directory.Upgrade ->
+          if
+            (not (Bitset.mem entry.Directory.sharers requester))
+            && not entry.Directory.overflowed
+          then
+            (* stale upgrade (our copy was invalidated or silently evicted
+               while the request was in flight): serve a full write miss *)
+            start_txn t home Directory.Read_ex requester block
+          else begin
+            let victims = inval_victims t home entry ~requester in
+            if victims = [] then begin
+              entry.Directory.owner <- Some requester;
+              clear_sharers entry;
+              deliver_grant t home ~requester block grant_upgrade
+            end
+            else begin
+              entry.Directory.busy <-
+                Some
+                  { Directory.kind; requester; acks_left = List.length victims };
+              List.iter
+                (fun s ->
+                  Ctrl.charge ctrl p.Params.dir_per_msg;
+                  send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:s
+                    ~vnet:Message.Request ~handler:h_inval ~args:[| block |]
+                    ~with_data:false)
+                victims
+            end
+          end)
+
+let complete_txn t home block =
+  let entry = Directory.entry home.dir ~block in
+  entry.Directory.busy <- None;
+  (* Drain queued requests: each may be granted immediately (leaving the
+     entry idle) or start a new recall/invalidation round (re-setting busy,
+     which stops the loop). *)
+  let rec drain () =
+    if entry.Directory.busy = None then
+      match Queue.take_opt entry.Directory.waiting with
+      | None -> ()
+      | Some (kind, requester) ->
+          Ctrl.charge home.ctrl t.params.Params.dir_op;
+          start_txn t home kind requester block;
+          drain ()
+  in
+  drain ()
+
+let finish_txn t home block (txn : Directory.txn) =
+  dbg block "t=%d finish_txn home=%d req=%d" home.ctrl.Ctrl.clock home.id
+    txn.Directory.requester;
+  let entry = Directory.entry home.dir ~block in
+  (match txn.Directory.kind with
+  | Directory.Read ->
+      (* old owner (if any) keeps a shared copy; requester joins *)
+      (match entry.Directory.owner with
+      | Some o -> Bitset.add entry.Directory.sharers o
+      | None -> ());
+      entry.Directory.owner <- None;
+      note_sharer t home entry txn.Directory.requester;
+      deliver_grant t home ~requester:txn.Directory.requester block
+        grant_shared
+  | Directory.Read_ex ->
+      entry.Directory.owner <- Some txn.Directory.requester;
+      clear_sharers entry;
+      deliver_grant t home ~requester:txn.Directory.requester block
+        grant_exclusive
+  | Directory.Upgrade ->
+      entry.Directory.owner <- Some txn.Directory.requester;
+      clear_sharers entry;
+      deliver_grant t home ~requester:txn.Directory.requester block
+        grant_upgrade);
+  complete_txn t home block
+
+let ctrl_exec t node msg =
+  let p = t.params in
+  let ctrl = node.ctrl in
+  let args = msg.Message.args in
+  let block = args.(0) in
+  let handler = msg.Message.handler in
+  dbg block "t=%d ctrl%d handler=%d src=%d" ctrl.Ctrl.clock node.id handler
+    msg.Message.src;
+  if handler = h_read || handler = h_readex || handler = h_upgrade then begin
+    Ctrl.charge ctrl p.Params.dir_op;
+    let kind =
+      if handler = h_read then Directory.Read
+      else if handler = h_readex then Directory.Read_ex
+      else Directory.Upgrade
+    in
+    start_txn t node kind msg.Message.src block
+  end
+  else if handler = h_recall then begin
+    (* we are the (former) owner: flush our copy and answer home *)
+    Stats.incr node.stats "invals_received";
+    let ex = args.(1) = 1 in
+    let present = Cache.probe node.cache ~block <> None in
+    Ctrl.charge ctrl
+      (p.Params.remote_inval
+      + (if present then p.Params.repl_exclusive else 0));
+    if present then
+      if ex then ignore (Cache.invalidate node.cache ~block)
+      else Cache.downgrade node.cache ~block;
+    Ctrl.charge ctrl p.Params.dir_per_msg;
+    send t ~src:node.id ~at:ctrl.Ctrl.clock ~dst:msg.Message.src
+      ~vnet:Message.Response ~handler:h_recall_data ~args:[| block |]
+      ~with_data:present
+  end
+  else if handler = h_inval then begin
+    Stats.incr node.stats "invals_received";
+    let present = Cache.probe node.cache ~block <> None in
+    Ctrl.charge ctrl
+      (p.Params.remote_inval + (if present then p.Params.repl_shared else 0));
+    ignore (Cache.invalidate node.cache ~block);
+    Ctrl.charge ctrl p.Params.dir_per_msg;
+    send t ~src:node.id ~at:ctrl.Ctrl.clock ~dst:msg.Message.src
+      ~vnet:Message.Response ~handler:h_inval_ack ~args:[| block |]
+      ~with_data:false
+  end
+  else if handler = h_recall_data then begin
+    Ctrl.charge ctrl (p.Params.dir_op + p.Params.dir_block_recv);
+    let entry = Directory.entry node.dir ~block in
+    match entry.Directory.busy with
+    | Some txn -> finish_txn t node block txn
+    | None -> () (* stale recall answer after a writeback raced it *)
+  end
+  else if handler = h_inval_ack then begin
+    Ctrl.charge ctrl p.Params.dir_op;
+    let entry = Directory.entry node.dir ~block in
+    match entry.Directory.busy with
+    | Some txn ->
+        txn.Directory.acks_left <- txn.Directory.acks_left - 1;
+        if txn.Directory.acks_left = 0 then finish_txn t node block txn
+    | None -> ()
+  end
+  else if handler = h_writeback then begin
+    Ctrl.charge ctrl (p.Params.dir_op + p.Params.dir_block_recv);
+    let src_node = t.nodes.(msg.Message.src) in
+    (match Hashtbl.find_opt src_node.wb_inflight block with
+    | Some 1 -> Hashtbl.remove src_node.wb_inflight block
+    | Some n -> Hashtbl.replace src_node.wb_inflight block (n - 1)
+    | None -> ());
+    let entry = Directory.entry node.dir ~block in
+    match entry.Directory.owner with
+    | Some o when o = msg.Message.src -> entry.Directory.owner <- None
+    | Some _ | None -> ()
+  end
+  else if handler = h_data || handler = h_upgrade_ok then begin
+    (* Response to our stalled CPU.  The cache controller fills the line
+       here, when the reply lands — not when the CPU resumes — so a
+       subsequent invalidate or recall can never slip between grant and
+       fill. *)
+    Ctrl.charge ctrl 1;
+    match Hashtbl.find_opt node.pending block with
+    | Some wake ->
+        Hashtbl.remove node.pending block;
+        let grant =
+          if handler = h_upgrade_ok then grant_upgrade
+          else if args.(1) = 1 then grant_exclusive
+          else grant_shared
+        in
+        let repl = ctrl_fill t node block grant in
+        wake repl
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Dirnnb: node %d got a fill for 0x%x with no miss"
+             node.id block)
+  end
+  else invalid_arg (Printf.sprintf "Dirnnb: unknown handler %d" handler)
+
+let create engine (p : Params.t) =
+  (match Params.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Dirnnb.System.create: " ^ msg));
+  let prng = Tt_util.Prng.create ~seed:p.Params.seed in
+  let fabric =
+    Fabric.create engine ~nodes:p.Params.nodes ~latency:p.Params.net_latency
+      ?words_per_cycle:p.Params.link_words_per_cycle ()
+  in
+  let nodes =
+    Array.init p.Params.nodes (fun id ->
+        {
+          id;
+          mem = Pagemem.create ~node:id ();
+          tlb =
+            Tlb.create ~entries:p.Params.cpu_tlb_entries
+              ~miss_penalty:p.Params.tlb_miss ();
+          cache =
+            Cache.create ~name:(Printf.sprintf "cpu%d.cache" id)
+              ~size_bytes:p.Params.cpu_cache_bytes
+              ~assoc:p.Params.cpu_cache_assoc
+              ~prng:(Tt_util.Prng.split prng) ();
+          ctrl = Ctrl.create engine;
+          dir = Directory.create ~nodes:p.Params.nodes;
+          stats = Stats.create (Printf.sprintf "node%d" id);
+          pending = Hashtbl.create 4;
+          wb_inflight = Hashtbl.create 4;
+        })
+  in
+  let t =
+    { engine; params = p; fabric; nodes; homes = Hashtbl.create 4096;
+      alloc_cursor = 0x1000_0000; next_home = 0 }
+  in
+  Array.iter
+    (fun node ->
+      node.ctrl.Ctrl.exec <- ctrl_exec t node;
+      Fabric.set_receiver fabric ~node:node.id (fun msg ->
+          Ctrl.post node.ctrl msg))
+    nodes;
+  t
+
+let alloc t ~th ~node ?home ?(align = 8) ~bytes () =
+  ignore node;
+  if bytes <= 0 then invalid_arg "Dirnnb.alloc: non-positive size";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Dirnnb.alloc: alignment must be a power of two";
+  Thread.advance th 10;
+  let round_up v a = (v + a - 1) land lnot (a - 1) in
+  let start = round_up t.alloc_cursor align in
+  let start =
+    match home, Hashtbl.find_opt t.homes (Addr.page_of start) with
+    | Some h, Some existing when existing <> h ->
+        round_up start Addr.page_size
+    | (Some _ | None), _ -> start
+  in
+  let first = Addr.page_of start and last = Addr.page_of (start + bytes - 1) in
+  for vpage = first to last do
+    if not (Hashtbl.mem t.homes vpage) then begin
+      let h =
+        match home with
+        | Some h -> h
+        | None ->
+            let h = t.next_home in
+            t.next_home <- (t.next_home + 1) mod Array.length t.nodes;
+            h
+      in
+      Thread.advance th 50;
+      map_shared_page t ~vpage ~home:h
+    end
+  done;
+  t.alloc_cursor <- start + bytes;
+  start
+
+(* ------------------------------------------------------------------ *)
+(* CPU access path                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fill_after_miss t node th block state =
+  match Cache.insert node.cache ~block ~state with
+  | None -> ()
+  | Some (victim, vstate) -> (
+      match vstate with
+      | Cache.Shared -> Thread.advance th t.params.Params.repl_shared
+      | Cache.Exclusive ->
+          Thread.advance th t.params.Params.repl_exclusive;
+          writeback t node ~at:(Thread.clock th) victim)
+
+(* Send a miss/upgrade to the home directory and stall until the fill
+   grant returns.  A local-home miss that needs directory work (conflicting
+   remote copies) pays the local bus cost, not the remote-miss constants. *)
+let miss_via_directory t node th ~home ~handler block =
+  let local = home = node.id in
+  if local then begin
+    Stats.incr node.stats "local_protocol_misses";
+    Thread.advance th 5
+  end
+  else begin
+    Stats.incr node.stats "remote_misses";
+    Thread.advance th t.params.Params.remote_miss_base
+  end;
+  let msg =
+    Message.make ~src:node.id ~dst:home ~vnet:Message.Request ~handler
+      ~args:[| block |] ()
+  in
+  let repl =
+    Thread.suspend th (fun wake ->
+        Hashtbl.replace node.pending block (fun repl ->
+            Thread.set_clock th
+              (max (Thread.clock th) node.ctrl.Ctrl.clock);
+            wake repl);
+        Fabric.send t.fabric ~at:(Thread.clock th) msg)
+  in
+  Thread.advance th
+    ((if local then t.params.Params.local_miss
+      else t.params.Params.remote_miss_finish)
+    + repl)
+
+let cpu_access t ~node th access vaddr =
+  let n = t.nodes.(node) in
+  Stats.incr n.stats "accesses";
+  Thread.maybe_yield th;
+  Thread.advance th 1;
+  let vpage = Addr.page_of vaddr in
+  Thread.advance th (Tlb.access n.tlb vpage);
+  let home_id = page_home t ~vpage in
+  let home = t.nodes.(home_id) in
+  let block = Addr.block_of vaddr in
+  let local = home_id = node in
+  let entry_free entry =
+    entry.Directory.busy = None && not (Hashtbl.mem n.wb_inflight block)
+  in
+  match Cache.lookup n.cache ~block with
+  | Some Cache.Exclusive -> ()
+  | Some Cache.Shared when access = Tag.Load -> ()
+  | Some Cache.Shared ->
+      (* upgrade *)
+      Stats.incr n.stats "upgrades";
+      let entry = Directory.entry home.dir ~block in
+      let others =
+        List.filter (fun s -> s <> node) (Bitset.to_list entry.Directory.sharers)
+      in
+      if
+        local && entry_free entry && others = []
+        && entry.Directory.owner = None
+        && not entry.Directory.overflowed
+      then begin
+        dbg block "t=%d cpu%d fastpath-upgrade" (Thread.clock th) node;
+        Thread.advance th t.params.Params.upgrade;
+        entry.Directory.owner <- Some node;
+        Bitset.clear entry.Directory.sharers;
+        Cache.set_state n.cache ~block Cache.Exclusive
+      end
+      else miss_via_directory t n th ~home:home_id ~handler:h_upgrade block
+  | None -> (
+      let entry = Directory.entry home.dir ~block in
+      match access with
+      | Tag.Load ->
+          let conflict =
+            match entry.Directory.owner with
+            | Some o -> o <> node
+            | None -> false
+          in
+          if local && entry_free entry && not conflict then begin
+            dbg block "t=%d cpu%d fastpath-load" (Thread.clock th) node;
+            Stats.incr n.stats "local_misses";
+            Thread.advance th t.params.Params.local_miss;
+            let others =
+              List.filter (fun s -> s <> node)
+                (Bitset.to_list entry.Directory.sharers)
+            in
+            let state =
+              if
+                others = [] && entry.Directory.owner = None
+                && not entry.Directory.overflowed
+              then Cache.Exclusive
+              else Cache.Shared
+            in
+            if state = Cache.Exclusive then begin
+              entry.Directory.owner <- Some node;
+              Bitset.clear entry.Directory.sharers
+            end
+            else note_sharer t n entry node;
+            fill_after_miss t n th block state
+          end
+          else miss_via_directory t n th ~home:home_id ~handler:h_read block
+      | Tag.Store ->
+          let others =
+            List.filter (fun s -> s <> node)
+              (Bitset.to_list entry.Directory.sharers)
+          in
+          let conflict =
+            others <> [] || entry.Directory.overflowed
+            ||
+            match entry.Directory.owner with
+            | Some o -> o <> node
+            | None -> false
+          in
+          if local && entry_free entry && not conflict then begin
+            dbg block "t=%d cpu%d fastpath-store" (Thread.clock th) node;
+            Stats.incr n.stats "local_misses";
+            Thread.advance th t.params.Params.local_miss;
+            entry.Directory.owner <- Some node;
+            clear_sharers entry;
+            fill_after_miss t n th block Cache.Exclusive
+          end
+          else miss_via_directory t n th ~home:home_id ~handler:h_readex block)
+
+let cpu_read_f64 t ~node th vaddr =
+  cpu_access t ~node th Tag.Load vaddr;
+  Pagemem.read_f64 t.nodes.(page_home t ~vpage:(Addr.page_of vaddr)).mem ~vaddr
+
+let cpu_write_f64 t ~node th vaddr v =
+  cpu_access t ~node th Tag.Store vaddr;
+  Pagemem.write_f64 t.nodes.(page_home t ~vpage:(Addr.page_of vaddr)).mem ~vaddr
+    v
+
+let cpu_read_int t ~node th vaddr =
+  cpu_access t ~node th Tag.Load vaddr;
+  Pagemem.read_int t.nodes.(page_home t ~vpage:(Addr.page_of vaddr)).mem ~vaddr
+
+let cpu_write_int t ~node th vaddr v =
+  cpu_access t ~node th Tag.Store vaddr;
+  Pagemem.write_int t.nodes.(page_home t ~vpage:(Addr.page_of vaddr)).mem ~vaddr
+    v
+
+let merged_stats t =
+  let out = Stats.create "dirnnb" in
+  Array.iter (fun n -> Stats.merge_into ~dst:out n.stats) t.nodes;
+  Stats.merge_into ~dst:out (Fabric.stats t.fabric);
+  out
+
+let check_invariants t =
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  Array.iter
+    (fun home ->
+      Directory.iter home.dir (fun block entry ->
+          (match entry.Directory.busy with
+          | Some _ -> fail "home %d block 0x%x: transaction left pending" home.id block
+          | None -> ());
+          if not (Queue.is_empty entry.Directory.waiting) then
+            fail "home %d block 0x%x: waiters left queued" home.id block;
+          match entry.Directory.owner with
+          | Some o ->
+              if Bitset.mem entry.Directory.sharers o then
+                fail "home %d block 0x%x: owner %d also listed as sharer"
+                  home.id block o;
+              if not (Bitset.is_empty entry.Directory.sharers) then
+                fail "home %d block 0x%x: owner and sharers coexist" home.id
+                  block
+          | None -> ()))
+    t.nodes;
+  (* Exclusively cached lines must be registered as owner at the home. *)
+  Array.iter
+    (fun node ->
+      Cache.iter node.cache (fun block state ->
+          if state = Cache.Exclusive then begin
+            let vpage = block * Addr.block_size / Addr.page_size in
+            match Hashtbl.find_opt t.homes vpage with
+            | None -> ()
+            | Some home_id -> (
+                let entry = Directory.entry t.nodes.(home_id).dir ~block in
+                match entry.Directory.owner with
+                | Some o when o = node.id -> ()
+                | Some o ->
+                    fail
+                      "block 0x%x cached exclusive at %d but owned by %d"
+                      block node.id o
+                | None ->
+                    fail "block 0x%x cached exclusive at %d but unowned"
+                      block node.id)
+          end))
+    t.nodes;
+  match !problem with None -> Ok () | Some msg -> Error msg

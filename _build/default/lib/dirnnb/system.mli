@@ -1,0 +1,69 @@
+(** The DirNNB baseline machine (§6): a conventional all-hardware,
+    directory-based, invalidation cache-coherence system over the same
+    nodes, caches and network as Typhoon.
+
+    Shared pages live at their home node's memory; every node can access
+    every shared page (hardware DSM — there are no page faults and no
+    access tags).  Cache misses that a clean local access cannot satisfy
+    become directory transactions, charged with Table 2's DirNNB cost
+    formulas: a remote miss costs [23 + (5..16 if replacement) +
+    network/directory cost + 34]; a directory operation costs [16 + 11 if a
+    block is received + 5 per message sent + 11 if a block is sent]; a
+    remote cache invalidation costs [8 + 5..16 if replacement]. *)
+
+type t
+
+val create : Tt_sim.Engine.t -> Params.t -> t
+
+val engine : t -> Tt_sim.Engine.t
+
+val params : t -> Params.t
+
+val nnodes : t -> int
+
+val fabric : t -> Tt_net.Fabric.t
+
+val map_shared_page : t -> vpage:int -> home:int -> unit
+(** Allocate the backing page at [home] and record the global translation.
+    Pages are placed by the allocator (round-robin by default, matching the
+    paper's "no careful data placement" setup). *)
+
+val page_home : t -> vpage:int -> int
+(** @raise Invalid_argument for an unallocated page. *)
+
+val alloc :
+  t -> th:Tt_sim.Thread.t -> node:int -> ?home:int -> ?align:int ->
+  bytes:int -> unit -> int
+(** Bump allocator over the shared segment with round-robin page placement —
+    the same placement policy as Stache's allocator, so both systems see
+    identical data layouts for identical allocation sequences. *)
+
+val home_mem : t -> int -> Tt_mem.Pagemem.t
+
+val cpu_cache : t -> int -> Tt_cache.Cache.t
+
+val directory : t -> int -> Directory.t
+(** Home directory of a node (for tests and invariant checks). *)
+
+val node_stats : t -> int -> Tt_util.Stats.t
+(** Counters: [accesses], [local_misses], [remote_misses], [upgrades],
+    [invals_received], [writebacks], [recalls]. *)
+
+val merged_stats : t -> Tt_util.Stats.t
+
+val cpu_access :
+  t -> node:int -> Tt_sim.Thread.t -> Tt_mem.Tag.access -> int -> unit
+
+val cpu_read_f64 : t -> node:int -> Tt_sim.Thread.t -> int -> float
+
+val cpu_write_f64 : t -> node:int -> Tt_sim.Thread.t -> int -> float -> unit
+
+val cpu_read_int : t -> node:int -> Tt_sim.Thread.t -> int -> int
+
+val cpu_write_int : t -> node:int -> Tt_sim.Thread.t -> int -> int -> unit
+
+val check_invariants : t -> (unit, string) result
+(** Protocol invariants over all directories and caches: at most one owner,
+    owner excludes sharers, an exclusively-cached line is registered at the
+    directory, no transaction left pending.  Intended for quiescent points
+    (barriers, end of run). *)

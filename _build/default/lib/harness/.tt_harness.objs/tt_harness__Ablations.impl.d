@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Array Buffer Machine Option Params Printf Run Tempest Tt_app Tt_mem Tt_sim Tt_sync Tt_typhoon Tt_util

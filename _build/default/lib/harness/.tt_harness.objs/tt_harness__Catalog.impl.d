@@ -1,0 +1,1 @@
+lib/harness/catalog.ml: Appbt Barnes Em3d Env Mp3d Ocean Printf Tt_app

@@ -1,0 +1,1 @@
+lib/harness/catalog.mli: Tt_app

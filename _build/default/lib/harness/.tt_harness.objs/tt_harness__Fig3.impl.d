@@ -1,0 +1,1 @@
+lib/harness/fig3.ml: Catalog List Machine Params Printf Run Tt_util

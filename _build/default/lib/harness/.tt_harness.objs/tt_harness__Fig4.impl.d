@@ -1,0 +1,1 @@
+lib/harness/fig4.ml: List Machine Params Printf Run Tt_app Tt_util

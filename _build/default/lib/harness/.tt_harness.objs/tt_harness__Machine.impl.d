@@ -1,0 +1,1 @@
+lib/harness/machine.ml: Hashtbl List Params Tt_custom Tt_dirnnb Tt_sim Tt_stache Tt_typhoon Tt_util

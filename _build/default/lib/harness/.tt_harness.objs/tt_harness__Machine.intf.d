@@ -1,0 +1,1 @@
+lib/harness/machine.mli: Hashtbl Params Tt_custom Tt_dirnnb Tt_sim Tt_stache Tt_typhoon Tt_util

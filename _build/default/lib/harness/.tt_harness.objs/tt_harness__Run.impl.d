@@ -1,0 +1,1 @@
+lib/harness/run.ml: Array Format Hashtbl Machine Params Printf Tt_app Tt_sim Tt_util

@@ -1,0 +1,1 @@
+lib/harness/run.mli: Format Machine Tt_app Tt_util

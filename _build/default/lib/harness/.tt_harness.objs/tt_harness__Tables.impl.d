@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Catalog List Params Printf String Tt_util

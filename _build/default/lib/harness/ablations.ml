@@ -1,0 +1,184 @@
+module Env = Tt_app.Env
+module Stats = Tt_util.Stats
+
+type directory_result = {
+  full_map_cycles : int;
+  full_map_invals : int;
+  limited_cycles : int;
+  limited_invals : int;
+  pointer_limit : int;
+}
+
+(* A block read by several (but not all) nodes, then rewritten by its
+   owner: precise sharer lists invalidate the readers; an overflowed
+   limited-pointer directory must broadcast. *)
+let shared_then_written ~readers (base : int ref) (env : Env.t) =
+  let words = 128 in
+  if env.Env.proc = 0 then begin
+    base := env.Env.alloc ~home:0 (words * Env.word);
+    for w = 0 to words - 1 do
+      env.Env.write (!base + (w * Env.word)) 1.0
+    done
+  end;
+  env.Env.barrier ();
+  for _round = 1 to 3 do
+    if env.Env.proc >= 1 && env.Env.proc <= readers then
+      for w = 0 to words - 1 do
+        ignore (env.Env.read (!base + (w * Env.word)))
+      done;
+    env.Env.barrier ();
+    if env.Env.proc = 0 then
+      for w = 0 to words - 1 do
+        env.Env.write (!base + (w * Env.word)) 2.0
+      done;
+    env.Env.barrier ()
+  done
+
+let directory ?(nodes = 16) ?(pointer_limit = 4) () =
+  let run limit =
+    let params =
+      { Params.default with Params.nodes; dir_limited_pointers = limit }
+    in
+    let base = ref 0 in
+    let r =
+      Run.spmd (Machine.dirnnb params) ~name:"broadcast"
+        (shared_then_written ~readers:6 base)
+    in
+    (r.Run.cycles, Stats.get r.Run.run_stats "invals_received")
+  in
+  let full_map_cycles, full_map_invals = run None in
+  let limited_cycles, limited_invals = run (Some pointer_limit) in
+  { full_map_cycles; full_map_invals; limited_cycles; limited_invals;
+    pointer_limit }
+
+type contention_result = {
+  free_cycles : int;
+  contended_cycles : int;
+  senders : int;
+}
+
+let bulk_fan_in ~nodes link =
+  let engine = Tt_sim.Engine.create () in
+  let sys =
+    Tt_typhoon.System.create engine
+      { Params.default with Params.nodes; link_words_per_cycle = link }
+  in
+  let vpage = 0x7000 in
+  let page_bytes = Tt_mem.Addr.page_size in
+  let remaining = ref (nodes - 1) in
+  let threads =
+    Array.init nodes (fun node ->
+        Tt_sim.Thread.spawn engine ~name:(Printf.sprintf "n%d" node)
+          (fun th ->
+            let ep = Tt_typhoon.System.endpoint sys node in
+            Tt_typhoon.System.with_cpu_context sys ~node th (fun () ->
+                ep.Tempest.map_page ~vpage:(vpage + node) ~home:node ~mode:0
+                  ~init_tag:Tt_mem.Tag.Read_write);
+            if node > 0 then
+              Tt_typhoon.System.with_cpu_context sys ~node th (fun () ->
+                  ep.Tempest.bulk_transfer ~dst:0
+                    ~src_va:((vpage + node) * page_bytes)
+                    ~dst_va:(vpage * page_bytes) ~len:page_bytes
+                    ~on_complete:(fun () -> decr remaining))))
+  in
+  Tt_sim.Engine.run engine;
+  ignore threads;
+  assert (!remaining = 0);
+  Tt_sim.Engine.now engine
+
+let contention ?(nodes = 16) () =
+  { free_cycles = bulk_fan_in ~nodes None;
+    contended_cycles = bulk_fan_in ~nodes (Some 1);
+    senders = nodes - 1 }
+
+type barrier_result = { hw_cycles : int; msg_cycles : int; participants : int }
+
+let barriers ?(nodes = 16) () =
+  let engine = Tt_sim.Engine.create () in
+  let sys =
+    Tt_typhoon.System.create engine { Params.default with Params.nodes }
+  in
+  let sync = Tt_sync.Msg_sync.install sys in
+  let hw = Tt_sim.Barrier.create engine ~participants:nodes ~latency:11 in
+  let bar = ref None in
+  let hw_cost = ref 0 and msg_cost = ref 0 in
+  let threads =
+    Array.init nodes (fun node ->
+        Tt_sim.Thread.spawn engine ~name:(Printf.sprintf "p%d" node)
+          (fun th ->
+            if node = 0 then
+              bar :=
+                Some
+                  (Tt_sync.Msg_sync.alloc_barrier sync ~th ~node ~home:0
+                     ~participants:nodes);
+            Tt_sim.Thread.yield th;
+            let c0 = Tt_sim.Thread.clock th in
+            Tt_sim.Barrier.wait hw th;
+            if node = 0 then hw_cost := Tt_sim.Thread.clock th - c0;
+            let c1 = Tt_sim.Thread.clock th in
+            Tt_sync.Msg_sync.barrier_wait sync ~th ~node (Option.get !bar);
+            if node = 0 then msg_cost := Tt_sim.Thread.clock th - c1))
+  in
+  Tt_sim.Engine.run engine;
+  Array.iter (fun th -> assert (Tt_sim.Thread.finished th)) threads;
+  { hw_cycles = !hw_cost; msg_cycles = !msg_cost; participants = nodes }
+
+type prefetch_result = {
+  plain_cycles : int;
+  plain_msgs : int;
+  prefetch_cycles : int;
+  prefetch_msgs : int;
+}
+
+let prefetch ?(nodes = 16) () =
+  let run software_prefetch =
+    let cfg =
+      { Tt_app.Em3d.total_nodes = 6000; degree = 8; pct_remote = 30;
+        iters = 3; seed = 41; software_prefetch }
+    in
+    let machine =
+      Machine.typhoon_stache { Params.default with Params.nodes }
+    in
+    let inst = Tt_app.Em3d.make cfg ~nprocs:nodes in
+    let r = Run.spmd machine ~name:"em3d" inst.Tt_app.Em3d.body in
+    ( r.Run.cycles,
+      Stats.get r.Run.run_stats "msgs.request"
+      + Stats.get r.Run.run_stats "msgs.response" )
+  in
+  let plain_cycles, plain_msgs = run false in
+  let prefetch_cycles, prefetch_msgs = run true in
+  { plain_cycles; plain_msgs; prefetch_cycles; prefetch_msgs }
+
+let render_all ?(nodes = 16) () =
+  let buf = Buffer.create 512 in
+  let d = directory ~nodes () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "directory, widely shared data:\n\
+       \  full map: %d cycles, %d invalidations\n\
+       \  Dir_%dB (broadcast on overflow): %d cycles, %d invalidations\n"
+       d.full_map_cycles d.full_map_invals d.pointer_limit d.limited_cycles
+       d.limited_invals);
+  let c = contention ~nodes () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "bulk fan-in to one node (%d senders x 4 KB):\n\
+       \  contention-free network: %d cycles\n\
+       \  1 word/cycle ports: %d cycles\n"
+       c.senders c.free_cycles c.contended_cycles);
+  let b = barriers ~nodes () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "barrier episode (%d participants):\n\
+       \  hardware primitive: %d cycles\n\
+       \  user-level message barrier: %d cycles\n"
+       b.participants b.hw_cycles b.msg_cycles);
+  let p = prefetch ~nodes () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "em3d on Typhoon/Stache, software prefetch:\n\
+       \  plain: %d cycles, %d messages\n\
+       \  prefetching: %d cycles, %d messages (latency hidden, traffic not \
+        reduced)\n"
+       p.plain_cycles p.plain_msgs p.prefetch_cycles p.prefetch_msgs);
+  Buffer.contents buf

@@ -1,0 +1,75 @@
+open Tt_app
+
+type app = {
+  app_name : string;
+  body : Env.t -> unit;
+  verify : Env.t -> unit;
+  work_items : int;
+}
+
+type size = Small | Large
+
+let size_label = function Small -> "small" | Large -> "large"
+
+let names = [ "appbt"; "barnes"; "mp3d"; "ocean"; "em3d" ]
+
+let make ~name ~size ~scale ~nprocs =
+  match name with
+  | "appbt" ->
+      let base = match size with Small -> Appbt.small | Large -> Appbt.large in
+      let cfg = if scale = 1.0 then base else Appbt.scale base scale in
+      let i = Appbt.make cfg ~nprocs in
+      { app_name = name; body = i.Appbt.body; verify = i.Appbt.verify;
+        work_items = cfg.Appbt.n * cfg.Appbt.n * cfg.Appbt.n }
+  | "barnes" ->
+      let base = match size with Small -> Barnes.small | Large -> Barnes.large in
+      let cfg = if scale = 1.0 then base else Barnes.scale base scale in
+      let i = Barnes.make cfg ~nprocs in
+      { app_name = name; body = i.Barnes.body; verify = i.Barnes.verify;
+        work_items = cfg.Barnes.bodies }
+  | "mp3d" ->
+      let base = match size with Small -> Mp3d.small | Large -> Mp3d.large in
+      let cfg = if scale = 1.0 then base else Mp3d.scale base scale in
+      let i = Mp3d.make cfg ~nprocs in
+      { app_name = name; body = i.Mp3d.body; verify = i.Mp3d.verify;
+        work_items = cfg.Mp3d.molecules }
+  | "ocean" ->
+      let base = match size with Small -> Ocean.small | Large -> Ocean.large in
+      let cfg = if scale = 1.0 then base else Ocean.scale base scale in
+      let i = Ocean.make cfg ~nprocs in
+      { app_name = name; body = i.Ocean.body; verify = i.Ocean.verify;
+        work_items = cfg.Ocean.n * cfg.Ocean.n }
+  | "em3d" ->
+      let base = match size with Small -> Em3d.small | Large -> Em3d.large in
+      let cfg = if scale = 1.0 then base else Em3d.scale base scale in
+      let i = Em3d.make cfg ~nprocs in
+      { app_name = name; body = i.Em3d.body; verify = i.Em3d.verify;
+        work_items = i.Em3d.edges }
+  | other -> invalid_arg (Printf.sprintf "Catalog.make: unknown app %S" other)
+
+let data_set_description ~name ~size ~scale =
+  let suffix = if scale = 1.0 then "" else Printf.sprintf " (x%.2f)" scale in
+  let pick small large = match size with Small -> small | Large -> large in
+  (match name with
+  | "appbt" ->
+      let base = pick Appbt.small Appbt.large in
+      let cfg = if scale = 1.0 then base else Appbt.scale base scale in
+      Printf.sprintf "%dx%dx%d" cfg.Appbt.n cfg.Appbt.n cfg.Appbt.n
+  | "barnes" ->
+      let base = pick Barnes.small Barnes.large in
+      let cfg = if scale = 1.0 then base else Barnes.scale base scale in
+      Printf.sprintf "%d bodies" cfg.Barnes.bodies
+  | "mp3d" ->
+      let base = pick Mp3d.small Mp3d.large in
+      let cfg = if scale = 1.0 then base else Mp3d.scale base scale in
+      Printf.sprintf "%d mols" cfg.Mp3d.molecules
+  | "ocean" ->
+      let base = pick Ocean.small Ocean.large in
+      let cfg = if scale = 1.0 then base else Ocean.scale base scale in
+      Printf.sprintf "%dx%d grid" cfg.Ocean.n cfg.Ocean.n
+  | "em3d" ->
+      let base = pick Em3d.small Em3d.large in
+      let cfg = if scale = 1.0 then base else Em3d.scale base scale in
+      Printf.sprintf "%d nodes, degree %d" cfg.Em3d.total_nodes cfg.Em3d.degree
+  | other -> invalid_arg (Printf.sprintf "Catalog: unknown app %S" other))
+  ^ suffix

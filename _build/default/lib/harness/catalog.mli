@@ -1,0 +1,25 @@
+(** Uniform access to the five benchmarks (Table 3). *)
+
+type app = {
+  app_name : string;
+  body : Tt_app.Env.t -> unit;
+  verify : Tt_app.Env.t -> unit;
+  work_items : int;
+      (** app-specific unit count (edges for em3d, cells, bodies …) for
+          per-item metrics *)
+}
+
+type size = Small | Large
+
+val size_label : size -> string
+
+val names : string list
+(** ["appbt"; "barnes"; "mp3d"; "ocean"; "em3d"] — Figure 3's order. *)
+
+val make :
+  name:string -> size:size -> scale:float -> nprocs:int -> app
+(** [scale] < 1.0 shrinks the Table 3 data set for wall-clock-bounded runs
+    (recorded in run output).  @raise Invalid_argument for unknown names. *)
+
+val data_set_description : name:string -> size:size -> scale:float -> string
+(** e.g. "12x12x12" — the Table 3 cell, adjusted for scale. *)

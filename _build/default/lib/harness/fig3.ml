@@ -1,0 +1,89 @@
+type cell = {
+  config_label : string;
+  dirnnb_cycles : int;
+  stache_cycles : int;
+}
+
+type row = { bench : string; data_set : string; cells : cell list }
+
+let configs =
+  [ (Catalog.Small, 4 * 1024);
+    (Catalog.Small, 16 * 1024);
+    (Catalog.Small, 64 * 1024);
+    (Catalog.Small, 256 * 1024);
+    (Catalog.Large, 256 * 1024) ]
+
+let config_label (size, cache) =
+  Printf.sprintf "%s/%dK" (Catalog.size_label size) (cache / 1024)
+
+let ratio c = float_of_int c.stache_cycles /. float_of_int c.dirnnb_cycles
+
+let run_one ~name ~size ~cache ~scale ~nodes ~verify =
+  let params =
+    Params.with_cache { Params.default with Params.nodes } cache
+  in
+  let measure machine =
+    let app = Catalog.make ~name ~size ~scale ~nprocs:nodes in
+    let r = Run.spmd machine ~name:app.Catalog.app_name app.Catalog.body in
+    if verify then
+      ignore
+        (Run.spmd machine ~name:(name ^ "-verify") ~check:false
+           app.Catalog.verify);
+    r.Run.cycles
+  in
+  let dirnnb_cycles = measure (Machine.dirnnb params) in
+  let stache_cycles = measure (Machine.typhoon_stache params) in
+  { config_label = config_label (size, cache); dirnnb_cycles; stache_cycles }
+
+let run ?(apps = Catalog.names) ?(scale = 1.0) ?(nodes = 32) ?(verify = false)
+    () =
+  List.map
+    (fun name ->
+      let cells =
+        List.map
+          (fun (size, cache) ->
+            run_one ~name ~size ~cache ~scale ~nodes ~verify)
+          configs
+      in
+      {
+        bench = name;
+        data_set =
+          Catalog.data_set_description ~name ~size:Catalog.Small ~scale;
+        cells;
+      })
+    apps
+
+let render rows =
+  let columns =
+    ("benchmark", Tt_util.Tablefmt.Left)
+    :: List.map
+         (fun c -> (config_label c, Tt_util.Tablefmt.Right))
+         configs
+  in
+  let ratios =
+    Tt_util.Tablefmt.create
+      ~title:
+        "Figure 3: execution time of Typhoon/Stache relative to DirNNB \
+         (ratio < 1 means Typhoon/Stache is faster)"
+      ~columns
+  in
+  List.iter
+    (fun row ->
+      Tt_util.Tablefmt.add_row ratios
+        (row.bench
+        :: List.map (fun c -> Printf.sprintf "%.2f" (ratio c)) row.cells))
+    rows;
+  let raw =
+    Tt_util.Tablefmt.create ~title:"Figure 3 raw cycles (dirnnb / stache)"
+      ~columns
+  in
+  List.iter
+    (fun row ->
+      Tt_util.Tablefmt.add_row raw
+        (row.bench
+        :: List.map
+             (fun c ->
+               Printf.sprintf "%d / %d" c.dirnnb_cycles c.stache_cycles)
+             row.cells))
+    rows;
+  Tt_util.Tablefmt.render ratios ^ "\n" ^ Tt_util.Tablefmt.render raw

@@ -1,0 +1,68 @@
+type point = {
+  pct_remote : int;
+  dirnnb : float;
+  stache : float;
+  update : float;
+}
+
+let run ?(pcts = [ 0; 10; 20; 30; 40; 50 ]) ?(scale = 1.0) ?(nodes = 32)
+    ?(verify = false) () =
+  let base = Tt_app.Em3d.large in
+  let base = if scale = 1.0 then base else Tt_app.Em3d.scale base scale in
+  List.map
+    (fun pct_remote ->
+      let cfg = { base with Tt_app.Em3d.pct_remote } in
+      let inst = Tt_app.Em3d.make cfg ~nprocs:nodes in
+      let steady_edges = inst.Tt_app.Em3d.edges * cfg.Tt_app.Em3d.iters in
+      let measure machine =
+        let r = Run.spmd machine ~name:"em3d" inst.Tt_app.Em3d.body in
+        if verify then
+          ignore
+            (Run.spmd machine ~name:"em3d-verify" ~check:false
+               inst.Tt_app.Em3d.verify);
+        (* The paper's y-axis is execution cycles per edge *handled by one
+           processor*: execution time (max processor cycles) divided by the
+           edges each processor traverses.  The warm-up iteration's cycles
+           are included, so count its edges too. *)
+        let edges_per_proc =
+          (steady_edges + inst.Tt_app.Em3d.edges) / nodes
+        in
+        float_of_int r.Run.cycles /. float_of_int edges_per_proc
+      in
+      let params = { Params.default with Params.nodes } in
+      {
+        pct_remote;
+        dirnnb = measure (Machine.dirnnb params);
+        stache = measure (Machine.typhoon_stache params);
+        update = measure (Machine.typhoon_em3d params);
+      })
+    pcts
+
+let render points =
+  let table =
+    Tt_util.Tablefmt.create
+      ~title:
+        "Figure 4: EM3D cycles per edge vs % non-local edges (large data \
+         set)"
+      ~columns:
+        [ ("% non-local", Tt_util.Tablefmt.Right);
+          ("DirNNB", Tt_util.Tablefmt.Right);
+          ("Typhoon/Stache", Tt_util.Tablefmt.Right);
+          ("Typhoon/Update", Tt_util.Tablefmt.Right);
+          ("update vs dirnnb", Tt_util.Tablefmt.Right) ]
+  in
+  List.iter
+    (fun p ->
+      Tt_util.Tablefmt.add_row table
+        [ string_of_int p.pct_remote;
+          Printf.sprintf "%.1f" p.dirnnb;
+          Printf.sprintf "%.1f" p.stache;
+          Printf.sprintf "%.1f" p.update;
+          Printf.sprintf "%+.0f%%" (100.0 *. ((p.update /. p.dirnnb) -. 1.0)) ])
+    points;
+  Tt_util.Tablefmt.render table
+
+let advantage_at points pct =
+  match List.find_opt (fun p -> p.pct_remote = pct) points with
+  | Some p -> 1.0 -. (p.update /. p.dirnnb)
+  | None -> invalid_arg "Fig4.advantage_at: percentage not measured"

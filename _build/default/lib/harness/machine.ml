@@ -1,0 +1,116 @@
+module Engine = Tt_sim.Engine
+module Thread = Tt_sim.Thread
+module Stats = Tt_util.Stats
+module Typhoon = Tt_typhoon.System
+module Dirnnb = Tt_dirnnb.System
+module Stache = Tt_stache.Stache
+
+type t = {
+  label : string;
+  engine : Engine.t;
+  mparams : Params.t;
+  read : node:int -> Thread.t -> int -> float;
+  write : node:int -> Thread.t -> int -> float -> unit;
+  read_int : node:int -> Thread.t -> int -> int;
+  write_int : node:int -> Thread.t -> int -> int -> unit;
+  alloc : node:int -> Thread.t -> ?home:int -> int -> int;
+  mprefetch : node:int -> Thread.t -> int -> unit;
+  merged_stats : unit -> Stats.t;
+  check_invariants : unit -> (unit, string) result;
+  hooks : (string, node:int -> Thread.t -> unit) Hashtbl.t;
+  special_allocs :
+    (string, node:int -> Thread.t -> ?home:int -> int -> int) Hashtbl.t;
+}
+
+let typhoon_stache_full ?max_stache_pages params =
+  let engine = Engine.create () in
+  let sys = Typhoon.create engine params in
+  let max_stache_pages =
+    match max_stache_pages with
+    | Some _ as v -> v
+    | None -> params.Params.stache_max_pages
+  in
+  let stache = Stache.install sys ?max_stache_pages () in
+  let machine =
+    {
+      label = "typhoon/stache";
+      engine;
+      mparams = params;
+      read = (fun ~node th a -> Typhoon.cpu_read_f64 sys ~node th a);
+      write = (fun ~node th a v -> Typhoon.cpu_write_f64 sys ~node th a v);
+      read_int = (fun ~node th a -> Typhoon.cpu_read_int sys ~node th a);
+      write_int = (fun ~node th a v -> Typhoon.cpu_write_int sys ~node th a v);
+      alloc =
+        (fun ~node th ?home bytes ->
+          Stache.alloc stache ~th ~node ?home ~bytes ());
+      mprefetch =
+        (fun ~node th vaddr -> Stache.prefetch stache ~th ~node ~vaddr `Ro);
+      merged_stats =
+        (fun () ->
+          let out = Stats.create "typhoon/stache" in
+          Stats.merge_into ~dst:out (Typhoon.merged_stats sys);
+          Stats.merge_into ~dst:out (Stache.stats stache);
+          out);
+      check_invariants = (fun () -> Stache.check_invariants stache);
+      hooks = Hashtbl.create 4;
+      special_allocs = Hashtbl.create 4;
+    }
+  in
+  machine, sys, stache
+
+let typhoon_stache ?max_stache_pages params =
+  let m, _, _ = typhoon_stache_full ?max_stache_pages params in
+  m
+
+let dirnnb_full params =
+  let engine = Engine.create () in
+  let sys = Dirnnb.create engine params in
+  let machine =
+    {
+      label = "dirnnb";
+      engine;
+      mparams = params;
+      read = (fun ~node th a -> Dirnnb.cpu_read_f64 sys ~node th a);
+      write = (fun ~node th a v -> Dirnnb.cpu_write_f64 sys ~node th a v);
+      read_int = (fun ~node th a -> Dirnnb.cpu_read_int sys ~node th a);
+      write_int = (fun ~node th a v -> Dirnnb.cpu_write_int sys ~node th a v);
+      alloc =
+        (fun ~node th ?home bytes -> Dirnnb.alloc sys ~th ~node ?home ~bytes ());
+      mprefetch = (fun ~node:_ _th _vaddr -> ());
+      merged_stats = (fun () -> Dirnnb.merged_stats sys);
+      check_invariants = (fun () -> Dirnnb.check_invariants sys);
+      hooks = Hashtbl.create 4;
+      special_allocs = Hashtbl.create 4;
+    }
+  in
+  machine, sys
+
+let dirnnb params =
+  let m, _ = dirnnb_full params in
+  m
+
+let typhoon_em3d_full ?max_stache_pages params =
+  let machine, sys, stache = typhoon_stache_full ?max_stache_pages params in
+  let proto = Tt_custom.Em3d_proto.install sys stache in
+  let machine =
+    { machine with
+      label = "typhoon/update";
+      merged_stats =
+        (fun () ->
+          let out = machine.merged_stats () in
+          Stats.merge_into ~dst:out (Tt_custom.Em3d_proto.stats proto);
+          out) }
+  in
+  List.iter
+    (fun kind ->
+      Hashtbl.replace machine.hooks ("em3d.sync:" ^ kind) (fun ~node th ->
+          Tt_custom.Em3d_proto.flush_and_wait proto ~th ~node ~kind);
+      Hashtbl.replace machine.special_allocs ("em3d:" ^ kind)
+        (fun ~node th ?home bytes ->
+          Tt_custom.Em3d_proto.alloc proto ~th ~node ~kind ?home ~bytes ()))
+    [ "e"; "h" ];
+  machine, sys, stache, proto
+
+let typhoon_em3d ?max_stache_pages params =
+  let m, _, _, _ = typhoon_em3d_full ?max_stache_pages params in
+  m

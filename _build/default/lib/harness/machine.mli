@@ -1,0 +1,50 @@
+(** Uniform facade over the two target machines.
+
+    The experiment runner and the benchmarks program against this record, so
+    the same application binary (an {!Tt_app.Env.t} consumer) runs on
+    DirNNB, Typhoon/Stache, or Typhoon with a custom protocol installed. *)
+
+type t = {
+  label : string;
+  engine : Tt_sim.Engine.t;
+  mparams : Params.t;
+  read : node:int -> Tt_sim.Thread.t -> int -> float;
+  write : node:int -> Tt_sim.Thread.t -> int -> float -> unit;
+  read_int : node:int -> Tt_sim.Thread.t -> int -> int;
+  write_int : node:int -> Tt_sim.Thread.t -> int -> int -> unit;
+  alloc :
+    node:int -> Tt_sim.Thread.t -> ?home:int -> int -> int;
+      (** bytes → shared virtual address *)
+  mprefetch : node:int -> Tt_sim.Thread.t -> int -> unit;
+      (** nonbinding prefetch hint (no-op on DirNNB) *)
+  merged_stats : unit -> Tt_util.Stats.t;
+  check_invariants : unit -> (unit, string) result;
+  hooks : (string, node:int -> Tt_sim.Thread.t -> unit) Hashtbl.t;
+      (** protocol-specific operations exposed to applications *)
+  special_allocs :
+    (string, node:int -> Tt_sim.Thread.t -> ?home:int -> int -> int) Hashtbl.t;
+      (** named allocators for custom-protocol memory; applications reach
+          them through {!Tt_app.Env.t.alloc_kind} *)
+}
+
+val typhoon_stache : ?max_stache_pages:int -> Params.t -> t
+(** A fresh Typhoon machine with the Stache library installed. *)
+
+val typhoon_stache_full :
+  ?max_stache_pages:int -> Params.t ->
+  t * Tt_typhoon.System.t * Tt_stache.Stache.t
+(** Like {!typhoon_stache} but also returns the underlying system and
+    protocol handles (used by tests and by custom-protocol setups). *)
+
+val dirnnb : Params.t -> t
+
+val dirnnb_full : Params.t -> t * Tt_dirnnb.System.t
+
+val typhoon_em3d : ?max_stache_pages:int -> Params.t -> t
+(** Typhoon with Stache plus the EM3D delayed-update protocol installed
+    ("Typhoon/Update" in Figure 4).  Exposes hooks ["em3d.sync:<kind>"] and
+    the allocator kind ["em3d:<kind>"] for the value arrays. *)
+
+val typhoon_em3d_full :
+  ?max_stache_pages:int -> Params.t ->
+  t * Tt_typhoon.System.t * Tt_stache.Stache.t * Tt_custom.Em3d_proto.t

@@ -1,0 +1,94 @@
+module T = Tt_util.Tablefmt
+
+let table1 () =
+  let t =
+    T.create ~title:"Table 1: operations on tagged memory blocks"
+      ~columns:
+        [ ("Operation", T.Left); ("Description", T.Left);
+          ("Implemented by", T.Left) ]
+  in
+  List.iter
+    (fun row -> T.add_row t row)
+    [
+      [ "read"; "load with tag check; fault suspends thread, invokes handler";
+        "Typhoon.System.cpu_read_*" ];
+      [ "write"; "store with tag check; fault suspends thread, invokes handler";
+        "Typhoon.System.cpu_write_*" ];
+      [ "force-read"; "load without tag check";
+        "Tempest.t.force_read_block/_i64/_f64" ];
+      [ "force-write"; "store without tag check";
+        "Tempest.t.force_write_block/_i64/_f64" ];
+      [ "read-tag"; "return value of tag"; "Tempest.t.read_tag" ];
+      [ "set-RW"; "set tag value to ReadWrite"; "Tempest.t.set_rw" ];
+      [ "set-RO"; "set tag value to ReadOnly"; "Tempest.t.set_ro" ];
+      [ "invalidate"; "set tag to Invalid and invalidate local copies";
+        "Tempest.t.invalidate" ];
+      [ "resume"; "resume suspended thread(s)"; "Tempest.t.resume" ];
+    ];
+  T.render t
+
+let table2 ?(params = Params.default) () =
+  let t =
+    T.create ~title:"Table 2: simulation parameters"
+      ~columns:[ ("Parameter", T.Left); ("Value", T.Left) ]
+  in
+  let p = params in
+  let rows =
+    [
+      ("nodes", string_of_int p.Params.nodes);
+      ( "CPU cache",
+        Printf.sprintf "%d KB, %d-way assoc., random repl."
+          (p.Params.cpu_cache_bytes / 1024) p.Params.cpu_cache_assoc );
+      ("block size", "32 bytes");
+      ( "CPU TLB",
+        Printf.sprintf "%d ent., fully assoc., FIFO repl."
+          p.Params.cpu_tlb_entries );
+      ("page size", "4 Kbytes");
+      ("local cache miss", Printf.sprintf "%d cycles" p.Params.local_miss);
+      ( "local writeback",
+        Printf.sprintf "%d (perfect write buffer)" p.Params.local_writeback );
+      ("TLB miss", Printf.sprintf "%d cycles" p.Params.tlb_miss);
+      ("network latency", Printf.sprintf "%d cycles" p.Params.net_latency);
+      ("barrier latency", Printf.sprintf "%d cycles" p.Params.barrier_latency);
+      ( "remote cache miss (DirNNB)",
+        Printf.sprintf "%d + %d..%d if replacement + network/directory + %d"
+          p.Params.remote_miss_base p.Params.repl_shared
+          p.Params.repl_exclusive p.Params.remote_miss_finish );
+      ( "remote cache invalidate (DirNNB)",
+        Printf.sprintf "%d + %d..%d if replacement" p.Params.remote_inval
+          p.Params.repl_shared p.Params.repl_exclusive );
+      ( "directory op (DirNNB)",
+        Printf.sprintf "%d + %d if block rcvd + %d per msg sent + %d if block \
+                        sent"
+          p.Params.dir_op p.Params.dir_block_recv p.Params.dir_per_msg
+          p.Params.dir_block_send );
+      ( "NP TLB, RTLB (Typhoon)",
+        Printf.sprintf "%d ent., fully assoc., FIFO repl."
+          p.Params.np_tlb_entries );
+      ("(R)TLB miss (Typhoon)", Printf.sprintf "%d cycles" p.Params.np_tlb_miss);
+      ( "NP D-cache (Typhoon)",
+        Printf.sprintf "%d KB, %d-way assoc." (p.Params.np_dcache_bytes / 1024)
+          p.Params.np_dcache_assoc );
+      ("NP I-cache (Typhoon)", "not modelled (handlers fit 8 KB; §6)");
+    ]
+  in
+  List.iter (fun (a, b) -> T.add_row t [ a; b ]) rows;
+  T.render t
+
+let table3 ?(scale = 1.0) () =
+  let t =
+    T.create ~title:"Table 3: application data sets"
+      ~columns:
+        [ ("Application", T.Left); ("Small data set", T.Left);
+          ("Large data set", T.Left) ]
+  in
+  List.iter
+    (fun name ->
+      T.add_row t
+        [ String.capitalize_ascii name;
+          Catalog.data_set_description ~name ~size:Catalog.Small ~scale;
+          Catalog.data_set_description ~name ~size:Catalog.Large ~scale ])
+    Catalog.names;
+  T.render t
+
+let all () = table1 () ^ "\n" ^ table2 () ^ "\n" ^ table3 ()

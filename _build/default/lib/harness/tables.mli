@@ -1,0 +1,14 @@
+(** Textual renditions of the paper's Tables 1–3 as implemented here, so
+    reviewers can diff the code's configuration against the paper. *)
+
+val table1 : unit -> string
+(** The nine operations on tagged memory blocks and where each lives in
+    this codebase. *)
+
+val table2 : ?params:Params.t -> unit -> string
+(** Simulation parameters (defaults = the paper's values). *)
+
+val table3 : ?scale:float -> unit -> string
+(** Application data sets (small/large), with any scaling applied. *)
+
+val all : unit -> string

@@ -1,0 +1,1 @@
+lib/mem/pagemem.ml: Addr Bytes Char Hashtbl Int64 Printf Tag

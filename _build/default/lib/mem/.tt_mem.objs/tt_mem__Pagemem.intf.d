@@ -1,0 +1,1 @@
+lib/mem/pagemem.mli: Bytes Tag

@@ -1,0 +1,29 @@
+let page_size = 4096
+
+let block_size = 32
+
+let blocks_per_page = page_size / block_size
+
+let word_size = 8
+
+let page_of a = a / page_size
+
+let page_base a = a land lnot (page_size - 1)
+
+let page_offset a = a land (page_size - 1)
+
+let block_of a = a / block_size
+
+let block_base a = a land lnot (block_size - 1)
+
+let block_offset a = a land (block_size - 1)
+
+let block_index a = page_offset a / block_size
+
+let block_addr ~page ~index = (page * page_size) + (index * block_size)
+
+let is_word_aligned a = a land (word_size - 1) = 0
+
+let is_block_aligned a = a land (block_size - 1) = 0
+
+let is_page_aligned a = a land (page_size - 1) = 0

@@ -1,0 +1,45 @@
+(** Address arithmetic for the simulated machine.
+
+    The simulated target has a flat, paged virtual address space per node
+    (§2.3 of the paper): 4 KB pages divided into 32-byte memory blocks, the
+    granularity of Tempest's fine-grain access control.  Addresses are plain
+    OCaml [int]s. *)
+
+val page_size : int
+(** 4096 bytes. *)
+
+val block_size : int
+(** 32 bytes (Typhoon's tag granularity). *)
+
+val blocks_per_page : int
+(** 128. *)
+
+val word_size : int
+(** 8 bytes — applications store 64-bit values. *)
+
+val page_of : int -> int
+(** Virtual page number of an address. *)
+
+val page_base : int -> int
+(** Base address of the page containing the address. *)
+
+val page_offset : int -> int
+
+val block_of : int -> int
+(** Global block number ([addr / block_size]). *)
+
+val block_base : int -> int
+
+val block_offset : int -> int
+
+val block_index : int -> int
+(** Index of the address's block within its page, in [\[0, 128)]. *)
+
+val block_addr : page:int -> index:int -> int
+(** Address of block [index] of virtual page [page]. *)
+
+val is_word_aligned : int -> bool
+
+val is_block_aligned : int -> bool
+
+val is_page_aligned : int -> bool

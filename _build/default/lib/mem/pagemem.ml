@@ -1,0 +1,151 @@
+type user_info = ..
+
+type user_info += No_info
+
+type page = {
+  data : Bytes.t;
+  tags : Bytes.t;
+  mutable mode : int;
+  mutable home : int;
+  mutable user : user_info;
+}
+
+type t = {
+  node_id : int;
+  capacity : int option;
+  pages : (int, page) Hashtbl.t;
+}
+
+let create ?max_pages ~node () =
+  { node_id = node; capacity = max_pages; pages = Hashtbl.create 256 }
+
+let node t = t.node_id
+
+let page_count t = Hashtbl.length t.pages
+
+let max_pages t = t.capacity
+
+let is_mapped t ~vpage = Hashtbl.mem t.pages vpage
+
+let find_page t ~vpage = Hashtbl.find_opt t.pages vpage
+
+let get_page t ~vpage =
+  match find_page t ~vpage with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Pagemem: node %d, vpage 0x%x is not mapped" t.node_id
+           vpage)
+
+let set_all_tags page tag =
+  Bytes.fill page.tags 0 (Bytes.length page.tags) (Char.chr (Tag.to_bits tag))
+
+let map t ~vpage ~home ~mode ~init_tag =
+  if is_mapped t ~vpage then
+    invalid_arg
+      (Printf.sprintf "Pagemem.map: node %d, vpage 0x%x already mapped"
+         t.node_id vpage);
+  (match t.capacity with
+  | Some cap when page_count t >= cap ->
+      invalid_arg
+        (Printf.sprintf "Pagemem.map: node %d out of physical pages (%d)"
+           t.node_id cap)
+  | Some _ | None -> ());
+  let page =
+    { data = Bytes.make Addr.page_size '\000';
+      tags = Bytes.make Addr.blocks_per_page '\000';
+      mode; home; user = No_info }
+  in
+  set_all_tags page init_tag;
+  Hashtbl.replace t.pages vpage page;
+  page
+
+let unmap t ~vpage =
+  if not (is_mapped t ~vpage) then
+    invalid_arg
+      (Printf.sprintf "Pagemem.unmap: node %d, vpage 0x%x not mapped" t.node_id
+         vpage);
+  Hashtbl.remove t.pages vpage
+
+let iter_pages t f = Hashtbl.iter f t.pages
+
+let page_of_addr t vaddr = get_page t ~vpage:(Addr.page_of vaddr)
+
+let get_tag t ~vaddr =
+  let page = page_of_addr t vaddr in
+  Tag.of_bits (Char.code (Bytes.get page.tags (Addr.block_index vaddr)))
+
+let set_tag t ~vaddr tag =
+  let page = page_of_addr t vaddr in
+  Bytes.set page.tags (Addr.block_index vaddr) (Char.chr (Tag.to_bits tag))
+
+let check_word_aligned vaddr =
+  if not (Addr.is_word_aligned vaddr) then
+    invalid_arg (Printf.sprintf "Pagemem: unaligned word access at 0x%x" vaddr)
+
+let read_i64 t ~vaddr =
+  check_word_aligned vaddr;
+  let page = page_of_addr t vaddr in
+  Bytes.get_int64_le page.data (Addr.page_offset vaddr)
+
+let write_i64 t ~vaddr v =
+  check_word_aligned vaddr;
+  let page = page_of_addr t vaddr in
+  Bytes.set_int64_le page.data (Addr.page_offset vaddr) v
+
+let read_f64 t ~vaddr = Int64.float_of_bits (read_i64 t ~vaddr)
+
+let write_f64 t ~vaddr v = write_i64 t ~vaddr (Int64.bits_of_float v)
+
+let read_int t ~vaddr = Int64.to_int (read_i64 t ~vaddr)
+
+let write_int t ~vaddr v = write_i64 t ~vaddr (Int64.of_int v)
+
+let read_u8 t ~vaddr =
+  let page = page_of_addr t vaddr in
+  Char.code (Bytes.get page.data (Addr.page_offset vaddr))
+
+let write_u8 t ~vaddr v =
+  let page = page_of_addr t vaddr in
+  Bytes.set page.data (Addr.page_offset vaddr) (Char.chr (v land 0xff))
+
+let read_block t ~vaddr =
+  let base = Addr.block_base vaddr in
+  let page = page_of_addr t base in
+  Bytes.sub page.data (Addr.page_offset base) Addr.block_size
+
+let write_block t ~vaddr src =
+  if Bytes.length src <> Addr.block_size then
+    invalid_arg "Pagemem.write_block: block must be 32 bytes";
+  let base = Addr.block_base vaddr in
+  let page = page_of_addr t base in
+  Bytes.blit src 0 page.data (Addr.page_offset base) Addr.block_size
+
+let read_bytes t ~vaddr ~len =
+  let out = Bytes.create len in
+  let rec copy pos =
+    if pos < len then begin
+      let a = vaddr + pos in
+      let page = page_of_addr t a in
+      let off = Addr.page_offset a in
+      let chunk = min (len - pos) (Addr.page_size - off) in
+      Bytes.blit page.data off out pos chunk;
+      copy (pos + chunk)
+    end
+  in
+  copy 0;
+  out
+
+let write_bytes t ~vaddr src =
+  let len = Bytes.length src in
+  let rec copy pos =
+    if pos < len then begin
+      let a = vaddr + pos in
+      let page = page_of_addr t a in
+      let off = Addr.page_offset a in
+      let chunk = min (len - pos) (Addr.page_size - off) in
+      Bytes.blit src pos page.data off chunk;
+      copy (pos + chunk)
+    end
+  in
+  copy 0

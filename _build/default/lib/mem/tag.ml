@@ -1,0 +1,38 @@
+type t = Read_write | Read_only | Invalid | Busy
+
+type access = Load | Store
+
+let permits t access =
+  match t, access with
+  | Read_write, (Load | Store) -> true
+  | Read_only, Load -> true
+  | Read_only, Store -> false
+  | (Invalid | Busy), (Load | Store) -> false
+
+let to_string = function
+  | Read_write -> "ReadWrite"
+  | Read_only -> "ReadOnly"
+  | Invalid -> "Invalid"
+  | Busy -> "Busy"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b =
+  match a, b with
+  | Read_write, Read_write | Read_only, Read_only | Invalid, Invalid
+  | Busy, Busy ->
+      true
+  | (Read_write | Read_only | Invalid | Busy), _ -> false
+
+let to_bits = function
+  | Read_write -> 0
+  | Read_only -> 1
+  | Invalid -> 2
+  | Busy -> 3
+
+let of_bits = function
+  | 0 -> Read_write
+  | 1 -> Read_only
+  | 2 -> Invalid
+  | 3 -> Busy
+  | n -> invalid_arg (Printf.sprintf "Tag.of_bits: %d" n)

@@ -1,0 +1,26 @@
+(** Fine-grain access-control tags (§2.4, Table 1).
+
+    Every 32-byte memory block carries one of these.  [Busy] is Typhoon's
+    fourth RTLB state (§5.4): it denies accesses exactly like [Invalid] but
+    lets protocol software distinguish blocks with an outstanding request
+    (e.g. prefetched or mid-transaction). *)
+
+type t = Read_write | Read_only | Invalid | Busy
+
+type access = Load | Store
+
+val permits : t -> access -> bool
+(** [Read_write] permits everything; [Read_only] permits only loads;
+    [Invalid] and [Busy] permit nothing. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val to_bits : t -> int
+(** 2-bit RTLB encoding. *)
+
+val of_bits : int -> t
+(** @raise Invalid_argument outside [\[0, 3\]]. *)

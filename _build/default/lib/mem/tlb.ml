@@ -1,0 +1,45 @@
+type t = {
+  entries : int;
+  miss_penalty : int;
+  present : (int, unit) Hashtbl.t;
+  order : int Queue.t; (* FIFO of inserted keys; may contain flushed keys *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 64) ~miss_penalty () =
+  { entries; miss_penalty; present = Hashtbl.create 128; order = Queue.create ();
+    hits = 0; misses = 0 }
+
+let probe t key = Hashtbl.mem t.present key
+
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some victim ->
+      (* Stale queue entries (flushed pages) are skipped. *)
+      if Hashtbl.mem t.present victim then Hashtbl.remove t.present victim
+      else evict_one t
+
+let access t key =
+  if probe t key then begin
+    t.hits <- t.hits + 1;
+    0
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.present >= t.entries then evict_one t;
+    Hashtbl.replace t.present key ();
+    Queue.add key t.order;
+    t.miss_penalty
+  end
+
+let flush_entry t key = Hashtbl.remove t.present key
+
+let flush_all t =
+  Hashtbl.reset t.present;
+  Queue.clear t.order
+
+let hits t = t.hits
+
+let misses t = t.misses

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Message Printf Tt_sim Tt_util

@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Message Tt_sim Tt_util

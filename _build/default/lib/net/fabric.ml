@@ -1,0 +1,70 @@
+type t = {
+  engine : Tt_sim.Engine.t;
+  node_count : int;
+  net_latency : int;
+  local_latency : int;
+  words_per_cycle : int option;
+  port_free : int array; (* contention model: next free time per dst port *)
+  receivers : (Message.t -> unit) option array;
+  counters : Tt_util.Stats.t;
+}
+
+let create engine ~nodes ~latency ?(local_latency = 1) ?words_per_cycle () =
+  if nodes <= 0 then invalid_arg "Fabric.create";
+  (match words_per_cycle with
+  | Some w when w <= 0 -> invalid_arg "Fabric.create: bad bandwidth"
+  | Some _ | None -> ());
+  { engine; node_count = nodes; net_latency = latency; local_latency;
+    words_per_cycle; port_free = Array.make nodes 0;
+    receivers = Array.make nodes None;
+    counters = Tt_util.Stats.create "network" }
+
+let nodes t = t.node_count
+
+let latency t = t.net_latency
+
+let stats t = t.counters
+
+let set_receiver t ~node f =
+  if node < 0 || node >= t.node_count then invalid_arg "Fabric.set_receiver";
+  t.receivers.(node) <- Some f
+
+let send t ~at msg =
+  if msg.Message.dst < 0 || msg.Message.dst >= t.node_count then
+    invalid_arg "Fabric.send: bad destination";
+  let vnet = Message.vnet_to_string msg.Message.vnet in
+  Tt_util.Stats.incr t.counters ("msgs." ^ vnet);
+  Tt_util.Stats.add t.counters ("words." ^ vnet) (Message.words msg);
+  let lat =
+    if msg.Message.src = msg.Message.dst then begin
+      Tt_util.Stats.incr t.counters "msgs.local";
+      t.local_latency
+    end
+    else t.net_latency
+  in
+  let deliver_at =
+    match t.words_per_cycle with
+    | None -> max (at + lat) (Tt_sim.Engine.now t.engine)
+    | Some w ->
+        (* serialize through the sender's and the receiver's network port:
+           a node streaming many replies (a hot home) queues on the way
+           out, and a node bombarded with messages queues on the way in *)
+        let occupancy = (Message.words msg + w - 1) / w in
+        let depart = max at t.port_free.(msg.Message.src) in
+        t.port_free.(msg.Message.src) <- depart + occupancy;
+        let arrive =
+          max (max (depart + lat) (Tt_sim.Engine.now t.engine))
+            t.port_free.(msg.Message.dst)
+        in
+        t.port_free.(msg.Message.dst) <- arrive + occupancy;
+        let waited = (depart - at) + (arrive - (depart + lat)) in
+        if waited > 0 then
+          Tt_util.Stats.add t.counters "port_wait_cycles" waited;
+        arrive + occupancy
+  in
+  Tt_sim.Engine.at t.engine deliver_at (fun () ->
+      match t.receivers.(msg.Message.dst) with
+      | Some receive -> receive msg
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Fabric: node %d has no receiver" msg.Message.dst))

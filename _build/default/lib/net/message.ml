@@ -1,0 +1,25 @@
+type vnet = Request | Response
+
+let vnet_to_string = function Request -> "request" | Response -> "response"
+
+type t = {
+  src : int;
+  dst : int;
+  vnet : vnet;
+  handler : int;
+  args : int array;
+  data : Bytes.t;
+}
+
+let max_payload_words = 20
+
+let words t = 1 + Array.length t.args + ((Bytes.length t.data + 3) / 4)
+
+let make ~src ~dst ~vnet ~handler ?(args = [||]) ?(data = Bytes.empty) () =
+  let m = { src; dst; vnet; handler; args; data } in
+  let w = words m in
+  if w > max_payload_words then
+    invalid_arg
+      (Printf.sprintf "Message.make: %d words exceeds the %d-word packet limit"
+         w max_payload_words);
+  m

@@ -1,0 +1,36 @@
+(** Active messages (§2.1 / §5.1).
+
+    A message names a destination node and a receive-handler (the first
+    payload word in Typhoon; here a registered handler id), followed by
+    argument words and optional raw block data.  The CM-5-derived network
+    carries at most twenty 32-bit payload words per packet; we enforce that
+    limit, counting the handler word, one word per argument and the data
+    rounded up to words.
+
+    Two virtual networks provide deadlock avoidance (§5.1): pure
+    request/response protocols send requests on the low-priority net and
+    responses on the high-priority net. *)
+
+type vnet = Request | Response
+
+val vnet_to_string : vnet -> string
+
+type t = {
+  src : int;
+  dst : int;
+  vnet : vnet;
+  handler : int;  (** registered handler id — the "handler PC" *)
+  args : int array;
+  data : Bytes.t;
+}
+
+val max_payload_words : int
+(** 20, as in Typhoon (the CM-5 allowed only five). *)
+
+val words : t -> int
+(** Packet payload size in 32-bit words (1 + |args| + ⌈|data|/4⌉). *)
+
+val make :
+  src:int -> dst:int -> vnet:vnet -> handler:int -> ?args:int array ->
+  ?data:Bytes.t -> unit -> t
+(** @raise Invalid_argument if the packet exceeds {!max_payload_words}. *)

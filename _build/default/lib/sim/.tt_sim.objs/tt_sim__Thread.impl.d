@@ -1,0 +1,1 @@
+lib/sim/thread.ml: Effect Engine Printexc Printf

@@ -1,0 +1,34 @@
+type t = {
+  engine : Engine.t;
+  participants : int;
+  latency : int;
+  mutable arrived : int;
+  mutable release_time : int;
+  mutable waiters : (Thread.t * (unit -> unit)) list;
+  mutable episodes : int;
+}
+
+let create engine ~participants ~latency =
+  if participants <= 0 then invalid_arg "Barrier.create";
+  { engine; participants; latency; arrived = 0; release_time = 0; waiters = [];
+    episodes = 0 }
+
+let episodes t = t.episodes
+
+let wait t th =
+  Thread.suspend th (fun wake ->
+      t.arrived <- t.arrived + 1;
+      t.release_time <- max t.release_time (Thread.clock th + t.latency);
+      t.waiters <- (th, wake) :: t.waiters;
+      if t.arrived = t.participants then begin
+        let release_time = t.release_time and waiters = t.waiters in
+        t.arrived <- 0;
+        t.release_time <- 0;
+        t.waiters <- [];
+        t.episodes <- t.episodes + 1;
+        List.iter
+          (fun (waiter, waiter_wake) ->
+            Thread.set_clock waiter release_time;
+            waiter_wake ())
+          waiters
+      end)

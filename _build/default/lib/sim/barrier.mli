@@ -1,0 +1,19 @@
+(** Reusable counting barrier.
+
+    The paper models barrier synchronization as a dedicated low-level
+    primitive with a fixed latency (Table 2: 11 cycles) rather than through
+    the coherence protocol, and notes (§2, footnote) that Tempest is expected
+    to grow hardware synchronization primitives.  We follow that model: all
+    participants block; once the last arrives, everyone resumes at
+    [max arrival time + latency]. *)
+
+type t
+
+val create : Engine.t -> participants:int -> latency:int -> t
+
+val wait : t -> Thread.t -> unit
+(** Must be called from inside the thread's body.  Reusable: the barrier
+    resets itself when the last participant arrives. *)
+
+val episodes : t -> int
+(** Number of completed barrier episodes (for statistics). *)

@@ -1,0 +1,48 @@
+type event = { time : int; seq : int; fn : unit -> unit }
+
+type t = {
+  events : event Tt_util.Heap.t;
+  mutable now : int;
+  mutable seq : int;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { events = Tt_util.Heap.create ~cmp:compare_event (); now = 0; seq = 0 }
+
+let now t = t.now
+
+let at t time fn =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.at: scheduling at %d which is before now=%d" time t.now);
+  Tt_util.Heap.push t.events { time; seq = t.seq; fn };
+  t.seq <- t.seq + 1
+
+let after t delay fn = at t (t.now + delay) fn
+
+let pending t = Tt_util.Heap.length t.events
+
+let step t =
+  match Tt_util.Heap.pop t.events with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.time;
+      ev.fn ();
+      true
+
+let run t = while step t do () done
+
+let run_until t ~limit =
+  let rec go () =
+    match Tt_util.Heap.peek t.events with
+    | None -> true
+    | Some ev when ev.time > limit -> false
+    | Some _ ->
+        ignore (step t);
+        go ()
+  in
+  go ()

@@ -1,0 +1,32 @@
+(** Discrete-event simulation engine.
+
+    Time is a global cycle count.  Events are closures executed in
+    non-decreasing time order; ties are broken FIFO so runs are
+    deterministic.  This is our stand-in for the Wisconsin Wind Tunnel's
+    quantum-synchronized direct execution: simulated processors (see
+    {!Thread}) insert themselves here whenever they interact with shared
+    state. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Timestamp of the event currently executing (0 before the first). *)
+
+val at : t -> int -> (unit -> unit) -> unit
+(** [at t time fn] schedules [fn] at absolute [time].  Scheduling in the past
+    (time < now) is an error. *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after t delay fn] schedules [fn] at [now t + delay]. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet run. *)
+
+val run : t -> unit
+(** Execute events until none remain. *)
+
+val run_until : t -> limit:int -> bool
+(** Execute events with time ≤ [limit].  Returns [true] if the queue drained
+    (simulation finished), [false] if it stopped at the limit. *)

@@ -1,0 +1,52 @@
+type t = {
+  engine : Engine.t;
+  uncontended_cost : int;
+  transfer_cost : int;
+  mutable held : bool;
+  mutable holder_release_clock : int;
+  waiters : (Thread.t * (unit -> unit)) Queue.t;
+  mutable acquires : int;
+  mutable contended : int;
+}
+
+let create engine ?(uncontended_cost = 2) ?(transfer_cost = 11) () =
+  { engine; uncontended_cost; transfer_cost; held = false;
+    holder_release_clock = 0; waiters = Queue.create (); acquires = 0;
+    contended = 0 }
+
+let acquires t = t.acquires
+
+let contended_acquires t = t.contended
+
+let acquire t th =
+  t.acquires <- t.acquires + 1;
+  Thread.advance th t.uncontended_cost;
+  if not t.held then t.held <- true
+  else begin
+    t.contended <- t.contended + 1;
+    Thread.suspend th (fun wake -> Queue.add (th, wake) t.waiters)
+  end
+
+let release t th =
+  if not t.held then invalid_arg "Lock.release: lock not held";
+  t.holder_release_clock <- Thread.clock th;
+  match Queue.take_opt t.waiters with
+  | None -> t.held <- false
+  | Some (waiter, wake) ->
+      (* Hand off: the waiter resumes after the holder's release plus a
+         transfer latency, or at its own arrival time if that is later. *)
+      let resume_at =
+        max (Thread.clock waiter) (t.holder_release_clock + t.transfer_cost)
+      in
+      Thread.set_clock waiter resume_at;
+      wake ()
+
+let with_lock t th f =
+  acquire t th;
+  match f () with
+  | v ->
+      release t th;
+      v
+  | exception e ->
+      release t th;
+      raise e

@@ -1,0 +1,25 @@
+(** Queueing mutual-exclusion lock with simple latency costs.
+
+    Like barriers, locks are modelled as a synchronization primitive outside
+    the coherence protocols (the paper defers synchronization primitives to
+    future Tempest extensions).  An uncontended acquire costs
+    [uncontended_cost] cycles; a contended acquire additionally waits for the
+    holder and pays [transfer_cost] (a network-ish handoff). *)
+
+type t
+
+val create :
+  Engine.t -> ?uncontended_cost:int -> ?transfer_cost:int -> unit -> t
+(** Costs default to 2 cycles (local atomic) and 11 cycles (one network
+    latency). *)
+
+val acquire : t -> Thread.t -> unit
+(** Must be called from inside the thread's body.  FIFO among waiters. *)
+
+val release : t -> Thread.t -> unit
+
+val with_lock : t -> Thread.t -> (unit -> 'a) -> 'a
+
+val contended_acquires : t -> int
+
+val acquires : t -> int

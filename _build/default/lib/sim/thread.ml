@@ -1,0 +1,84 @@
+type state = Runnable | Blocked | Finished
+
+type t = {
+  engine : Engine.t;
+  thread_name : string;
+  quantum : int;
+  mutable clock : int;
+  mutable last_yield : int;
+  mutable state : state;
+}
+
+exception Failure_in of string * exn
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let name t = t.thread_name
+
+let clock t = t.clock
+
+let set_clock t c = t.clock <- c
+
+let advance t n = t.clock <- t.clock + n
+
+let finished t = t.state = Finished
+
+let blocked t = t.state = Blocked
+
+let suspend (_ : t) register = Effect.perform (Suspend register)
+
+let wake_time t = max t.clock (Engine.now t.engine)
+
+let spawn engine ?(quantum = 200) ?start ~name body =
+  let start = match start with Some s -> s | None -> Engine.now engine in
+  let t =
+    { engine; thread_name = name; quantum; clock = start; last_yield = start;
+      state = Runnable }
+  in
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> t.state <- Finished);
+      exnc =
+        (fun exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          t.state <- Finished;
+          Printexc.raise_with_backtrace (Failure_in (t.thread_name, exn)) bt);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  t.state <- Blocked;
+                  let woken = ref false in
+                  let wake v =
+                    if !woken then
+                      invalid_arg
+                        (Printf.sprintf "Thread %s woken twice" t.thread_name);
+                    woken := true;
+                    t.state <- Runnable;
+                    t.clock <- wake_time t;
+                    (* blocking re-synchronized us with global time: reset
+                       the run-ahead bookkeeping so the continuation is not
+                       immediately preempted by maybe_yield.  This is what
+                       lets a CPU's retried access win against a queued
+                       invalidation after a fill — the hardware's
+                       forward-progress guarantee. *)
+                    t.last_yield <- t.clock;
+                    Engine.at t.engine t.clock (fun () ->
+                        Effect.Deep.continue k v)
+                  in
+                  register wake)
+          | _ -> None);
+    }
+  in
+  Engine.at engine start (fun () -> Effect.Deep.match_with body t handler);
+  t
+
+let yield t = suspend t (fun wake -> wake ())
+
+let maybe_yield t =
+  if t.clock - t.last_yield >= t.quantum then begin
+    t.last_yield <- t.clock;
+    yield t
+  end

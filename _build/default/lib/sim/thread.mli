@@ -1,0 +1,55 @@
+(** Simulated computation threads (one per simulated CPU).
+
+    A thread is an OCaml-5 effect fiber with a private cycle clock.  Code
+    running inside the fiber charges cycles with {!advance} and blocks with
+    {!suspend}; the memory system uses this to implement Tempest's
+    suspend-handle-resume semantics for block access faults: the faulting
+    thread performs a [Suspend] effect, protocol handlers run elsewhere in
+    simulated time, and the eventual [wake] schedules the continuation.
+
+    A thread's clock may run ahead of global time by at most [quantum]
+    cycles between yields, mirroring the Wind Tunnel's quantum-based
+    conservative synchronization. *)
+
+type t
+
+exception Failure_in of string * exn
+(** Raised out of {!Engine.run} when a thread body raises: carries the thread
+    name and the original exception. *)
+
+val spawn :
+  Engine.t -> ?quantum:int -> ?start:int -> name:string -> (t -> unit) -> t
+(** [spawn engine ~name body] creates a thread and schedules its first step
+    at time [start] (default: now).  [quantum] (default 200 cycles) bounds
+    how far the local clock may run ahead before {!maybe_yield} reinserts the
+    thread into the event queue. *)
+
+val name : t -> string
+
+val clock : t -> int
+(** Local cycle count. *)
+
+val set_clock : t -> int -> unit
+(** Used by protocol completion paths: set the local clock to the simulated
+    completion time before calling the thread's wake function. *)
+
+val advance : t -> int -> unit
+(** Charge [n] cycles to the local clock. *)
+
+val finished : t -> bool
+
+val blocked : t -> bool
+
+val suspend : t -> (('a -> unit) -> unit) -> 'a
+(** [suspend t register] must be called from inside the thread's own body.
+    [register] runs immediately and receives [wake]; calling [wake v]
+    (exactly once, now or later) schedules the continuation of the thread at
+    [max (clock t) now] and makes [suspend] return [v]. *)
+
+val yield : t -> unit
+(** Re-enter the event queue at the current local clock, letting events with
+    earlier timestamps run first. *)
+
+val maybe_yield : t -> unit
+(** {!yield} only if the local clock has outrun the last yield by more than
+    the quantum.  Call this on every simulated memory access. *)

@@ -1,0 +1,1 @@
+lib/stache/dir.ml: Array Printf Queue Sharers Tempest Tt_mem

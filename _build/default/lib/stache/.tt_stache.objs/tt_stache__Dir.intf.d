@@ -1,0 +1,1 @@
+lib/stache/dir.mli: Queue Sharers Tempest Tt_mem

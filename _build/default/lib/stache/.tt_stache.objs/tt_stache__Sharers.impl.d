@@ -1,0 +1,1 @@
+lib/stache/sharers.ml: List Tt_util

@@ -1,0 +1,1 @@
+lib/stache/stache.ml: Array Bytes Dir Hashtbl List Option Printf Queue Sharers Tempest Tt_mem Tt_net Tt_sim Tt_typhoon Tt_util

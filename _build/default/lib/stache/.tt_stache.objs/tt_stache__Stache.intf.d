@@ -1,0 +1,1 @@
+lib/stache/stache.mli: Tt_sim Tt_typhoon Tt_util

@@ -1,0 +1,41 @@
+type client =
+  | Remote of int * [ `Ro | `Rw | `Up ]
+  | Home of Tempest.resumption * Tt_mem.Tag.access
+
+type pending = {
+  client : client;
+  mutable acks_left : int;
+  mutable prev_owner : int option;
+}
+
+type bstate = Idle | Shared | Remote_excl of int
+
+type block_dir = {
+  mutable state : bstate;
+  sharers : Sharers.t;
+  mutable pending : pending option;
+  waiters : client Queue.t;
+}
+
+type page_dir = block_dir array
+
+type Tt_mem.Pagemem.user_info += Home_dir of page_dir
+
+let create_page_dir ~nodes =
+  Array.init Tt_mem.Addr.blocks_per_page (fun _ ->
+      { state = Idle; sharers = Sharers.create ~nodes; pending = None;
+        waiters = Queue.create () })
+
+let block_of (ep : Tempest.t) ~vaddr =
+  let vpage = Tt_mem.Addr.page_of vaddr in
+  match ep.Tempest.page_user ~vpage with
+  | Home_dir dir -> dir.(Tt_mem.Addr.block_index vaddr)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Stache.Dir: 0x%x is not on a stache home page" vaddr)
+
+let dir_key ~vaddr =
+  (* Directory entries are 8 bytes (64 bits), four per 32-byte NP cache
+     line; derive a distinct line key per group of four blocks, disjoint
+     from data block numbers by an offset. *)
+  0x4000_0000 + (Tt_mem.Addr.block_of vaddr / 4)

@@ -1,0 +1,47 @@
+(** Per-home-page software directory (§3).
+
+    A Stache home page carries one directory entry per 32-byte block,
+    allocated when the page is created and reachable from the page's
+    uninterpreted user word — exactly the structure the paper hangs off the
+    RTLB entry.  The coherence protocol is the software LimitLESS-like
+    invalidation protocol of §3. *)
+
+type client =
+  | Remote of int * [ `Ro | `Rw | `Up ]
+      (** a remote node's get-read-only / get-read-write / upgrade request *)
+  | Home of Tempest.resumption * Tt_mem.Tag.access
+      (** the home CPU itself faulted; resume it when the block is granted *)
+
+type pending = {
+  client : client;
+  mutable acks_left : int;
+  mutable prev_owner : int option;
+      (** owner a recall was sent to; joins the sharers on a read recall *)
+}
+
+type bstate =
+  | Idle  (** home holds the only copy, tag ReadWrite *)
+  | Shared  (** home tag ReadOnly; remote ReadOnly copies in [sharers] *)
+  | Remote_excl of int  (** home tag Invalid; owner has the only copy *)
+
+type block_dir = {
+  mutable state : bstate;
+  sharers : Sharers.t;
+  mutable pending : pending option;
+  waiters : client Queue.t;
+}
+
+type page_dir = block_dir array
+(** 128 entries, indexed by block-within-page. *)
+
+type Tt_mem.Pagemem.user_info += Home_dir of page_dir
+
+val create_page_dir : nodes:int -> page_dir
+
+val block_of : Tempest.t -> vaddr:int -> block_dir
+(** Directory entry for [vaddr]'s block, fetched through the page's user
+    word.  @raise Invalid_argument if the page is not a Stache home page. *)
+
+val dir_key : vaddr:int -> int
+(** Stable key identifying the directory entry's cache line for NP
+    data-cache modelling ({!Tempest.t.touch}). *)

@@ -1,0 +1,794 @@
+module System = Tt_typhoon.System
+module Thread = Tt_sim.Thread
+module Addr = Tt_mem.Addr
+module Tag = Tt_mem.Tag
+module Message = Tt_net.Message
+module Stats = Tt_util.Stats
+
+(* Per-block protocol trace (TT_DEBUG_BLOCK = block-base virtual address). *)
+let dbg vaddr fmt = Tt_util.Debug.log ~key:(Tt_mem.Addr.block_base vaddr) fmt
+
+let mode_home = 1
+
+let mode_remote = 2
+
+(* Shared heap segment: a large user-reserved address range (§2.3). *)
+let heap_base = 0x1000_0000
+
+(* Handler instruction counts beyond the endpoint primitives' built-in
+   costs, tuned so the common paths match §6: 14 NP instructions to request
+   a block, 30 to respond with data, 20 at data arrival. *)
+let c_req_extra = 5
+
+let c_resp_extra = 9
+
+let c_arrival_extra = 9
+
+let c_inval_extra = 3
+
+let c_ack_extra = 3
+
+let c_recall_extra = 5
+
+let c_page_fault_extra = 25
+
+let c_writeback_extra = 5
+
+let c_registry_lookup = 5
+
+type node_state = {
+  pending_remote : (int, Tempest.resumption option) Hashtbl.t;
+      (* block base va -> suspended CPU waiting for data, or [None] for an
+         outstanding nonbinding prefetch (the Busy tag's purpose, §5.4) *)
+  local_homes : (int, int) Hashtbl.t; (* vpage -> home (local cache) *)
+  stache_fifo : int Queue.t; (* stached vpages in mapping order *)
+}
+
+type t = {
+  sys : System.t;
+  registry : (int, int) Hashtbl.t; (* vpage -> home: distributed mapping table *)
+  node_states : node_state array;
+  max_stache_pages : int option;
+  counters : Stats.t;
+  mutable alloc_cursor : int;
+  mutable next_home : int; (* round-robin cursor *)
+  (* message handler ids, assigned at install *)
+  mutable h_get : int;
+  mutable h_data : int;
+  mutable h_upgrade_ok : int;
+  mutable h_inval : int;
+  mutable h_inval_ack : int;
+  mutable h_recall : int;
+  mutable h_recall_data : int;
+  mutable h_writeback : int;
+}
+
+let system t = t.sys
+
+let stats t = t.counters
+
+let kind_code = function `Ro -> 0 | `Rw -> 1 | `Up -> 2
+
+let kind_of_code = function
+  | 0 -> `Ro
+  | 1 -> `Rw
+  | 2 -> `Up
+  | n -> invalid_arg (Printf.sprintf "Stache: bad request kind %d" n)
+
+let node_state t i = t.node_states.(i)
+
+let home_of t ~vaddr =
+  match Hashtbl.find_opt t.registry (Addr.page_of vaddr) with
+  | Some h -> h
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Stache.home_of: 0x%x is not an allocated shared \
+                         address" vaddr)
+
+(* ------------------------------------------------------------------ *)
+(* Home-side protocol engine                                           *)
+(* ------------------------------------------------------------------ *)
+
+let touch_dir (ep : Tempest.t) ~vaddr = ep.touch (Dir.dir_key ~vaddr)
+
+let send_data t (ep : Tempest.t) ~vaddr ~dst ~rw =
+  let data = ep.Tempest.force_read_block ~vaddr in
+  ep.Tempest.charge c_resp_extra;
+  ep.Tempest.send ~dst ~vnet:Message.Response ~handler:t.h_data
+    ~args:[| vaddr; (if rw then 1 else 0) |] ~data ()
+
+let send_upgrade_ok t (ep : Tempest.t) ~vaddr ~dst =
+  ep.Tempest.charge c_resp_extra;
+  ep.Tempest.send ~dst ~vnet:Message.Response ~handler:t.h_upgrade_ok
+    ~args:[| vaddr |] ()
+
+(* Grant the block to [client] assuming all conflicting copies are gone and
+   the directory reflects the post-grant state change made by the caller. *)
+let grant t ep ~vaddr (bd : Dir.block_dir) client =
+  match client with
+  | Dir.Remote (r, `Ro) ->
+      Sharers.add bd.Dir.sharers r;
+      bd.Dir.state <- Dir.Shared;
+      ep.Tempest.set_ro ~vaddr;
+      ep.Tempest.downgrade ~vaddr;
+      send_data t ep ~vaddr ~dst:r ~rw:false
+  | Dir.Remote (r, `Rw) ->
+      (* data must leave before the home copy is stamped Invalid *)
+      send_data t ep ~vaddr ~dst:r ~rw:true;
+      Sharers.clear bd.Dir.sharers;
+      bd.Dir.state <- Dir.Remote_excl r;
+      ep.Tempest.invalidate ~vaddr
+  | Dir.Remote (r, `Up) ->
+      Sharers.clear bd.Dir.sharers;
+      bd.Dir.state <- Dir.Remote_excl r;
+      ep.Tempest.invalidate ~vaddr;
+      send_upgrade_ok t ep ~vaddr ~dst:r
+  | Dir.Home (res, Tag.Load) ->
+      (* home regains readability; state set by the caller *)
+      ep.Tempest.set_ro ~vaddr;
+      ep.Tempest.resume res
+  | Dir.Home (res, Tag.Store) ->
+      Sharers.clear bd.Dir.sharers;
+      bd.Dir.state <- Dir.Idle;
+      ep.Tempest.set_rw ~vaddr;
+      ep.Tempest.resume res
+
+(* Serve one request at the home node; queues behind pending transactions. *)
+let rec serve t (ep : Tempest.t) ~vaddr (bd : Dir.block_dir) client =
+  dbg vaddr "serve home=%d client=%s state=%s pending=%b waiters=%d"
+    ep.Tempest.node
+    (match client with
+    | Dir.Remote (r, k) ->
+        Printf.sprintf "R%d:%s" r
+          (match k with `Ro -> "ro" | `Rw -> "rw" | `Up -> "up")
+    | Dir.Home (_, a) ->
+        Printf.sprintf "H:%s" (match a with Tag.Load -> "ld" | Tag.Store -> "st"))
+    (match bd.Dir.state with
+    | Dir.Idle -> "idle"
+    | Dir.Shared -> "shared"
+    | Dir.Remote_excl o -> Printf.sprintf "excl%d" o)
+    (bd.Dir.pending <> None)
+    (Queue.length bd.Dir.waiters);
+  touch_dir ep ~vaddr;
+  if bd.Dir.pending <> None then Queue.add client bd.Dir.waiters
+  else
+    match bd.Dir.state, client with
+    (* ---- no conflicting copies: grant immediately ---- *)
+    | Dir.Idle, Dir.Remote (_, `Up) ->
+        (* stale upgrade: requester's copy vanished; serve as a write miss *)
+        (match client with
+        | Dir.Remote (r, _) -> grant t ep ~vaddr bd (Dir.Remote (r, `Rw))
+        | Dir.Home _ -> assert false)
+    | Dir.Idle, _ -> grant t ep ~vaddr bd client
+    | Dir.Shared, Dir.Remote (_, `Ro) -> grant t ep ~vaddr bd client
+    | Dir.Shared, Dir.Home (res, Tag.Load) ->
+        (* spurious: ReadOnly home tag already permits loads *)
+        ep.Tempest.resume res
+    (* ---- sharers must be invalidated first ---- *)
+    | Dir.Shared, (Dir.Remote (_, (`Rw | `Up)) | Dir.Home (_, Tag.Store)) ->
+        let requester =
+          match client with Dir.Remote (r, _) -> Some r | Dir.Home _ -> None
+        in
+        let client =
+          (* an upgrader that lost its copy needs data after all *)
+          match client with
+          | Dir.Remote (r, `Up) when not (Sharers.mem bd.Dir.sharers r) ->
+              Dir.Remote (r, `Rw)
+          | c -> c
+        in
+        let targets =
+          List.filter
+            (fun s -> Some s <> requester)
+            (Sharers.to_list bd.Dir.sharers)
+        in
+        (* the home's own readable copy goes too *)
+        ep.Tempest.invalidate ~vaddr;
+        if targets = [] then begin
+          Sharers.clear bd.Dir.sharers;
+          grant t ep ~vaddr bd client
+        end
+        else begin
+          bd.Dir.pending <-
+            Some
+              { Dir.client; acks_left = List.length targets; prev_owner = None };
+          List.iter
+            (fun s ->
+              Stats.incr t.counters "inval";
+              ep.Tempest.charge c_inval_extra;
+              ep.Tempest.send ~dst:s ~vnet:Message.Request ~handler:t.h_inval
+                ~args:[| vaddr |] ())
+            targets
+        end
+    (* ---- a remote exclusive copy must be recalled first ---- *)
+    | Dir.Remote_excl o, _ ->
+        let ex =
+          match client with
+          | Dir.Remote (_, (`Rw | `Up)) | Dir.Home (_, Tag.Store) -> true
+          | Dir.Remote (_, `Ro) | Dir.Home (_, Tag.Load) -> false
+        in
+        Stats.incr t.counters "recall";
+        bd.Dir.pending <- Some { Dir.client; acks_left = 1; prev_owner = Some o };
+        ep.Tempest.charge c_recall_extra;
+        ep.Tempest.send ~dst:o ~vnet:Message.Request ~handler:t.h_recall
+          ~args:[| vaddr; (if ex then 1 else 0) |] ()
+
+and finish_pending t ep ~vaddr (bd : Dir.block_dir) =
+  let pending = Option.get bd.Dir.pending in
+  bd.Dir.pending <- None;
+  (match pending.Dir.client with
+  | Dir.Remote (_, _) | Dir.Home _ -> grant t ep ~vaddr bd pending.Dir.client);
+  drain_waiters t ep ~vaddr bd
+
+and drain_waiters t ep ~vaddr bd =
+  if bd.Dir.pending = None then
+    match Queue.take_opt bd.Dir.waiters with
+    | Some client ->
+        ep.Tempest.charge 2;
+        serve t ep ~vaddr bd client;
+        drain_waiters t ep ~vaddr bd
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Message handlers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* home <- requester: get a block.  After a page migration, stale local
+   home caches still aim requests at the old home, which forwards them to
+   the page's current home (preserving the original requester in the
+   arguments). *)
+let on_get t (ep : Tempest.t) ~src ~args ~data:_ =
+  let vaddr = args.(0) and kind = kind_of_code args.(1) in
+  let requester = if Array.length args > 2 then args.(2) else src in
+  let current_home = home_of t ~vaddr in
+  if current_home <> ep.Tempest.node then begin
+    Stats.incr t.counters "forwarded";
+    ep.Tempest.charge 4;
+    ep.Tempest.send ~dst:current_home ~vnet:Message.Request ~handler:t.h_get
+      ~args:[| vaddr; args.(1); requester |] ()
+  end
+  else begin
+    Stats.incr t.counters
+      (match kind with `Ro -> "get_ro" | `Rw -> "get_rw" | `Up -> "upgrade");
+    let bd = Dir.block_of ep ~vaddr in
+    serve t ep ~vaddr bd (Dir.Remote (requester, kind))
+  end
+
+(* requester <- home: block data *)
+let on_data t (ep : Tempest.t) ~src:_ ~args ~data =
+  let vaddr = args.(0) and rw = args.(1) = 1 in
+  dbg vaddr "data at node=%d rw=%b" ep.Tempest.node rw;
+  let ns = node_state t ep.Tempest.node in
+  match Hashtbl.find_opt ns.pending_remote vaddr with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Stache: node %d got data for 0x%x with no request"
+           ep.Tempest.node vaddr)
+  | Some pending ->
+      Hashtbl.remove ns.pending_remote vaddr;
+      ep.Tempest.force_write_block ~vaddr data;
+      (if rw then ep.Tempest.set_rw ~vaddr else ep.Tempest.set_ro ~vaddr);
+      ep.Tempest.charge c_arrival_extra;
+      (match pending with
+      | Some resumption -> ep.Tempest.resume resumption
+      | None -> Stats.incr t.counters "prefetch_completed")
+
+(* requester <- home: upgrade granted without data *)
+let on_upgrade_ok t (ep : Tempest.t) ~src:_ ~args ~data:_ =
+  let vaddr = args.(0) in
+  let ns = node_state t ep.Tempest.node in
+  match Hashtbl.find_opt ns.pending_remote vaddr with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Stache: node %d got upgrade-ok for 0x%x with no request"
+           ep.Tempest.node vaddr)
+  | Some pending ->
+      Hashtbl.remove ns.pending_remote vaddr;
+      ep.Tempest.set_rw ~vaddr;
+      ep.Tempest.charge c_arrival_extra;
+      (match pending with
+      | Some resumption -> ep.Tempest.resume resumption
+      | None -> Stats.incr t.counters "prefetch_completed")
+
+(* sharer <- home: drop your read-only copy *)
+let on_inval t (ep : Tempest.t) ~src ~args ~data:_ =
+  let vaddr = args.(0) in
+  if ep.Tempest.page_mapped ~vpage:(Addr.page_of vaddr) then
+    ep.Tempest.invalidate ~vaddr;
+  ep.Tempest.charge c_inval_extra;
+  ep.Tempest.send ~dst:src ~vnet:Message.Response ~handler:t.h_inval_ack
+    ~args:[| vaddr |] ()
+
+(* home <- sharer *)
+let on_inval_ack t (ep : Tempest.t) ~src:_ ~args ~data:_ =
+  let vaddr = args.(0) in
+  dbg vaddr "inval_ack at home=%d" ep.Tempest.node;
+  let bd = Dir.block_of ep ~vaddr in
+  touch_dir ep ~vaddr;
+  ep.Tempest.charge c_ack_extra;
+  match bd.Dir.pending with
+  | None -> () (* ack for a transaction a racing writeback already closed *)
+  | Some pending ->
+      pending.Dir.acks_left <- pending.Dir.acks_left - 1;
+      if pending.Dir.acks_left = 0 then begin
+        Sharers.clear bd.Dir.sharers;
+        finish_pending t ep ~vaddr bd
+      end
+
+(* owner <- home: give the block back (ex=1 also relinquish it) *)
+let on_recall t (ep : Tempest.t) ~src ~args ~data:_ =
+  let vaddr = args.(0) and ex = args.(1) = 1 in
+  dbg vaddr "recall at owner=%d ex=%b" ep.Tempest.node ex;
+  ep.Tempest.charge c_recall_extra;
+  let mapped = ep.Tempest.page_mapped ~vpage:(Addr.page_of vaddr) in
+  let have = mapped && Tag.equal (ep.Tempest.read_tag ~vaddr) Tag.Read_write in
+  if have then begin
+    let data = ep.Tempest.force_read_block ~vaddr in
+    if ex then ep.Tempest.invalidate ~vaddr
+    else begin
+      ep.Tempest.set_ro ~vaddr;
+      ep.Tempest.downgrade ~vaddr
+    end;
+    ep.Tempest.send ~dst:src ~vnet:Message.Response ~handler:t.h_recall_data
+      ~args:[| vaddr; 1; (if ex then 1 else 0) |] ~data ()
+  end
+  else
+    (* our copy is gone (page replaced; the writeback is ahead of this nack
+       in FIFO order, so home memory is already current) *)
+    ep.Tempest.send ~dst:src ~vnet:Message.Response ~handler:t.h_recall_data
+      ~args:[| vaddr; 0; (if ex then 1 else 0) |] ()
+
+(* home <- former owner *)
+let on_recall_data t (ep : Tempest.t) ~src ~args ~data =
+  let vaddr = args.(0) and present = args.(1) = 1 in
+  dbg vaddr "recall_data from=%d present=%b" src present;
+  let bd = Dir.block_of ep ~vaddr in
+  touch_dir ep ~vaddr;
+  ep.Tempest.charge c_ack_extra;
+  if present then ep.Tempest.force_write_block ~vaddr data;
+  match bd.Dir.pending with
+  | None -> ()
+  | Some pending ->
+      bd.Dir.pending <- None;
+      (match pending.Dir.client with
+      | Dir.Remote (r, `Ro) ->
+          Sharers.clear bd.Dir.sharers;
+          if present then Sharers.add bd.Dir.sharers src;
+          Sharers.add bd.Dir.sharers r;
+          bd.Dir.state <- Dir.Shared;
+          ep.Tempest.set_ro ~vaddr;
+          ep.Tempest.downgrade ~vaddr;
+          send_data t ep ~vaddr ~dst:r ~rw:false
+      | Dir.Remote (r, (`Rw | `Up)) ->
+          send_data t ep ~vaddr ~dst:r ~rw:true;
+          Sharers.clear bd.Dir.sharers;
+          bd.Dir.state <- Dir.Remote_excl r;
+          ep.Tempest.invalidate ~vaddr
+      | Dir.Home (res, Tag.Load) ->
+          Sharers.clear bd.Dir.sharers;
+          if present then Sharers.add bd.Dir.sharers src;
+          bd.Dir.state <- Dir.Shared;
+          ep.Tempest.set_ro ~vaddr;
+          ep.Tempest.resume res
+      | Dir.Home (res, Tag.Store) ->
+          Sharers.clear bd.Dir.sharers;
+          bd.Dir.state <- Dir.Idle;
+          ep.Tempest.set_rw ~vaddr;
+          ep.Tempest.resume res);
+      drain_waiters t ep ~vaddr bd
+
+(* home <- replacing node: modified block flushed during page replacement *)
+let on_writeback t (ep : Tempest.t) ~src ~args ~data =
+  let vaddr = args.(0) in
+  let src = if Array.length args > 1 then args.(1) else src in
+  let current_home = home_of t ~vaddr in
+  if current_home <> ep.Tempest.node then begin
+    Stats.incr t.counters "forwarded";
+    ep.Tempest.charge 4;
+    ep.Tempest.send ~dst:current_home ~vnet:Message.Request
+      ~handler:t.h_writeback ~args:[| vaddr; src |] ~data ()
+  end
+  else begin
+  Stats.incr t.counters "writeback";
+  let bd = Dir.block_of ep ~vaddr in
+  touch_dir ep ~vaddr;
+  ep.Tempest.charge c_writeback_extra;
+  ep.Tempest.force_write_block ~vaddr data;
+  match bd.Dir.state with
+  | Dir.Remote_excl o when o = src ->
+      bd.Dir.state <- Dir.Idle;
+      ep.Tempest.set_rw ~vaddr
+  | Dir.Remote_excl _ | Dir.Idle | Dir.Shared -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fault handlers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Block fault on a stached (remote) page: request the block from home. *)
+let remote_block_fault t (ep : Tempest.t) (fault : Tempest.fault) =
+  let vaddr = Addr.block_base fault.Tempest.fault_vaddr in
+  dbg vaddr "fault node=%d access=%s tag=%s" ep.Tempest.node
+    (match fault.Tempest.fault_access with Tag.Load -> "ld" | Tag.Store -> "st")
+    (Tag.to_string fault.Tempest.fault_tag);
+  let kind =
+    match fault.Tempest.fault_access, fault.Tempest.fault_tag with
+    | Tag.Load, _ -> `Ro
+    | Tag.Store, Tag.Read_only -> `Up
+    | Tag.Store, _ -> `Rw
+  in
+  let ns = node_state t ep.Tempest.node in
+  if Hashtbl.mem ns.pending_remote vaddr then begin
+    (* a nonbinding prefetch is already in flight: just wait for it *)
+    ep.Tempest.charge 2;
+    Hashtbl.replace ns.pending_remote vaddr
+      (Some fault.Tempest.fault_resumption)
+  end
+  else begin
+    let home =
+      match Hashtbl.find_opt ns.local_homes (Addr.page_of vaddr) with
+      | Some h ->
+          ep.Tempest.touch (Addr.page_of vaddr);
+          h
+      | None -> home_of t ~vaddr
+    in
+    ep.Tempest.set_busy ~vaddr;
+    Hashtbl.replace ns.pending_remote vaddr
+      (Some fault.Tempest.fault_resumption);
+    ep.Tempest.charge c_req_extra;
+    ep.Tempest.send ~dst:home ~vnet:Message.Request ~handler:t.h_get
+      ~args:[| vaddr; kind_code kind |] ()
+  end
+
+(* Block fault on a home page: operate on the directory directly (§3). *)
+let home_block_fault t (ep : Tempest.t) (fault : Tempest.fault) =
+  Stats.incr t.counters "home_faults";
+  let vaddr = Addr.block_base fault.Tempest.fault_vaddr in
+  let bd = Dir.block_of ep ~vaddr in
+  ep.Tempest.charge c_req_extra;
+  serve t ep ~vaddr bd
+    (Dir.Home (fault.Tempest.fault_resumption, fault.Tempest.fault_access))
+
+(* Flush one stached page back to its home and unmap it (FIFO victim). *)
+let replace_page t (ep : Tempest.t) ~vpage =
+  Stats.incr t.counters "page_replacements";
+  let base = vpage * Addr.page_size in
+  for index = 0 to Addr.blocks_per_page - 1 do
+    let vaddr = base + (index * Addr.block_size) in
+    ep.Tempest.charge 2;
+    match ep.Tempest.read_tag ~vaddr with
+    | Tag.Read_write ->
+        (* the only up-to-date copy: send it home *)
+        let data = ep.Tempest.force_read_block ~vaddr in
+        ep.Tempest.charge c_writeback_extra;
+        ep.Tempest.send ~dst:(ep.Tempest.page_home ~vpage)
+          ~vnet:Message.Request ~handler:t.h_writeback ~args:[| vaddr |]
+          ~data ()
+    | Tag.Read_only | Tag.Invalid ->
+        (* read-only copies are dropped silently; the home directory keeps a
+           stale sharer entry and future invalidations are simply acked *)
+        ()
+    | Tag.Busy ->
+        invalid_arg
+          (Printf.sprintf
+             "Stache: replacing page 0x%x with an outstanding request at 0x%x"
+             vpage vaddr)
+  done;
+  ep.Tempest.unmap_page ~vpage
+
+(* Page fault: first access to a shared page from a non-home node. *)
+let page_fault t (ep : Tempest.t) ~vaddr (_ : Tag.access) resumption =
+  let vpage = Addr.page_of vaddr in
+  let home =
+    match Hashtbl.find_opt t.registry vpage with
+    | Some h -> h
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Stache: page fault at 0x%x outside the shared heap (node %d)"
+             vaddr ep.Tempest.node)
+  in
+  if home = ep.Tempest.node then
+    invalid_arg
+      (Printf.sprintf "Stache: home page 0x%x faulted unmapped on its own node"
+         vpage);
+  let ns = node_state t ep.Tempest.node in
+  ep.Tempest.charge (c_page_fault_extra + c_registry_lookup);
+  Hashtbl.replace ns.local_homes vpage home;
+  (match t.max_stache_pages with
+  | Some cap ->
+      (* the FIFO may hold stale entries (pages unmapped by migration);
+         drop those until a real victim is replaced or capacity is fine *)
+      let rec make_room () =
+        if Queue.length ns.stache_fifo >= cap then begin
+          let victim = Queue.pop ns.stache_fifo in
+          let mem = System.node_mem t.sys ep.Tempest.node in
+          if
+            Tt_mem.Pagemem.is_mapped mem ~vpage:victim
+            && (Tt_mem.Pagemem.get_page mem ~vpage:victim).Tt_mem.Pagemem.mode
+               = mode_remote
+          then replace_page t ep ~vpage:victim
+          else make_room ()
+        end
+      in
+      make_room ()
+  | None -> ());
+  ep.Tempest.map_page ~vpage ~home ~mode:mode_remote ~init_tag:Tag.Invalid;
+  Queue.add vpage ns.stache_fifo;
+  ep.Tempest.resume resumption
+
+(* ------------------------------------------------------------------ *)
+(* Installation and allocation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let install sys ?max_stache_pages () =
+  let t =
+    {
+      sys;
+      registry = Hashtbl.create 4096;
+      node_states =
+        Array.init (System.nnodes sys) (fun _ ->
+            { pending_remote = Hashtbl.create 8;
+              local_homes = Hashtbl.create 256;
+              stache_fifo = Queue.create () });
+      max_stache_pages;
+      counters = Stats.create "stache";
+      alloc_cursor = heap_base;
+      next_home = 0;
+      h_get = -1; h_data = -1; h_upgrade_ok = -1; h_inval = -1;
+      h_inval_ack = -1; h_recall = -1; h_recall_data = -1; h_writeback = -1;
+    }
+  in
+  let tables = System.handlers sys in
+  let reg name f = Tempest.Handlers.register_message tables ~name (f t) in
+  t.h_get <- reg "stache.get" on_get;
+  t.h_data <- reg "stache.data" on_data;
+  t.h_upgrade_ok <- reg "stache.upgrade_ok" on_upgrade_ok;
+  t.h_inval <- reg "stache.inval" on_inval;
+  t.h_inval_ack <- reg "stache.inval_ack" on_inval_ack;
+  t.h_recall <- reg "stache.recall" on_recall;
+  t.h_recall_data <- reg "stache.recall_data" on_recall_data;
+  t.h_writeback <- reg "stache.writeback" on_writeback;
+  Tempest.Handlers.set_block_fault tables ~mode:mode_home (home_block_fault t);
+  Tempest.Handlers.set_block_fault tables ~mode:mode_remote
+    (remote_block_fault t);
+  Tempest.Handlers.set_page_fault tables (page_fault t);
+  t
+
+(* Create a shared home page: map it at the home node with ReadWrite tags
+   and a fresh directory, and record it in the distributed mapping table. *)
+let create_home_page t ~vpage ~home =
+  Hashtbl.replace t.registry vpage home;
+  let ep = System.endpoint t.sys home in
+  ep.Tempest.map_page ~vpage ~home ~mode:mode_home ~init_tag:Tag.Read_write;
+  ep.Tempest.set_page_user ~vpage
+    (Dir.Home_dir (Dir.create_page_dir ~nodes:(System.nnodes t.sys)))
+
+let alloc t ~th ~node ?home ?(align = 8) ~bytes () =
+  if bytes <= 0 then invalid_arg "Stache.alloc: non-positive size";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Stache.alloc: alignment must be a power of two";
+  System.with_cpu_context t.sys ~node th (fun () ->
+      Thread.advance th 10;
+      let round_up v a = (v + a - 1) land lnot (a - 1) in
+      let start = round_up t.alloc_cursor align in
+      (* a pinned allocation never shares a page homed elsewhere *)
+      let desired_home = home in
+      let start =
+        match desired_home, Hashtbl.find_opt t.registry (Addr.page_of start) with
+        | Some h, Some existing when existing <> h ->
+            round_up start Addr.page_size
+        | (Some _ | None), _ -> start
+      in
+      let page_start = Addr.page_of start in
+      let last_page = Addr.page_of (start + bytes - 1) in
+      for vpage = page_start to last_page do
+        if not (Hashtbl.mem t.registry vpage) then begin
+          let h =
+            match desired_home with
+            | Some h -> h
+            | None ->
+                let h = t.next_home in
+                t.next_home <- (t.next_home + 1) mod System.nnodes t.sys;
+                h
+          in
+          Thread.advance th 50;
+          create_home_page t ~vpage ~home:h
+        end
+      done;
+      t.alloc_cursor <- start + bytes;
+      start)
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch and page migration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prefetch t ~th ~node ~vaddr kind =
+  let vaddr = Addr.block_base vaddr in
+  let vpage = Addr.page_of vaddr in
+  let mem = System.node_mem t.sys node in
+  let ns = node_state t node in
+  System.with_cpu_context t.sys ~node th (fun () ->
+      Thread.advance th 3;
+      let eligible =
+        Tt_mem.Pagemem.is_mapped mem ~vpage
+        && (Tt_mem.Pagemem.get_page mem ~vpage).Tt_mem.Pagemem.mode
+           = mode_remote
+        && Tag.equal (Tt_mem.Pagemem.get_tag mem ~vaddr) Tag.Invalid
+        && not (Hashtbl.mem ns.pending_remote vaddr)
+      in
+      if eligible then begin
+        Stats.incr t.counters "prefetch_issued";
+        let ep = System.endpoint t.sys node in
+        ep.Tempest.set_busy ~vaddr;
+        Hashtbl.replace ns.pending_remote vaddr None;
+        let code = match kind with `Ro -> 0 | `Rw -> 1 in
+        ep.Tempest.send ~dst:(home_of t ~vaddr) ~vnet:Message.Request
+          ~handler:t.h_get ~args:[| vaddr; code |] ()
+      end)
+
+let migrate_page t ~th ~node ~vpage ~new_home =
+  let old_home = home_of t ~vaddr:(vpage * Addr.page_size) in
+  if old_home = new_home then ()
+  else begin
+    let old_mem = System.node_mem t.sys old_home in
+    let old_page = Tt_mem.Pagemem.get_page old_mem ~vpage in
+    if old_page.Tt_mem.Pagemem.mode <> mode_home then
+      invalid_arg "Stache.migrate_page: not a stache home page";
+    let dir =
+      match old_page.Tt_mem.Pagemem.user with
+      | Dir.Home_dir d -> d
+      | _ -> invalid_arg "Stache.migrate_page: home page without directory"
+    in
+    (* quiescence: no remote owner, no transaction in flight *)
+    Array.iteri
+      (fun index bd ->
+        match bd.Dir.state, bd.Dir.pending with
+        | Dir.Remote_excl _, _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Stache.migrate_page: block %d is remotely owned" index)
+        | _, Some _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Stache.migrate_page: block %d mid-transaction" index)
+        | (Dir.Idle | Dir.Shared), None ->
+            if not (Queue.is_empty bd.Dir.waiters) then
+              invalid_arg "Stache.migrate_page: waiters queued")
+      dir;
+    Stats.incr t.counters "page_migrations";
+    (* the copy itself: one page of bulk traffic, charged to the caller *)
+    Thread.advance th (Addr.page_size / 64 * 20);
+    let new_mem = System.node_mem t.sys new_home in
+    (* the new home may hold a stached copy of this page: discard it (the
+       quiescence check guarantees it has no modified blocks).  Its FIFO
+       entry goes stale and is skipped at replacement time. *)
+    if Tt_mem.Pagemem.is_mapped new_mem ~vpage then begin
+      let new_ep = System.endpoint t.sys new_home in
+      System.with_cpu_context t.sys ~node th (fun () ->
+          new_ep.Tempest.unmap_page ~vpage);
+      (* drop the stale sharer registration *)
+      Array.iter (fun bd -> Sharers.remove bd.Dir.sharers new_home) dir
+    end;
+    let new_page =
+      Tt_mem.Pagemem.map new_mem ~vpage ~home:new_home ~mode:mode_home
+        ~init_tag:Tag.Read_only
+    in
+    Bytes.blit old_page.Tt_mem.Pagemem.data 0 new_page.Tt_mem.Pagemem.data 0
+      Addr.page_size;
+    (* the new directory: every block Shared, old sharers plus the old home
+       (which keeps a ReadOnly stached copy) *)
+    let new_dir = Dir.create_page_dir ~nodes:(System.nnodes t.sys) in
+    Array.iteri
+      (fun index bd ->
+        let nbd = new_dir.(index) in
+        nbd.Dir.state <- Dir.Shared;
+        List.iter (Sharers.add nbd.Dir.sharers) (Sharers.to_list bd.Dir.sharers);
+        Sharers.add nbd.Dir.sharers old_home)
+      dir;
+    new_page.Tt_mem.Pagemem.user <- Dir.Home_dir new_dir;
+    (* retype the old page as an ordinary stached copy: all blocks become
+       ReadOnly, CPU-cached lines are downgraded *)
+    let old_ep = System.endpoint t.sys old_home in
+    System.with_cpu_context t.sys ~node th (fun () ->
+        for index = 0 to Addr.blocks_per_page - 1 do
+          let va = Addr.block_addr ~page:vpage ~index in
+          Tt_mem.Pagemem.set_tag old_mem ~vaddr:va Tag.Read_only;
+          old_ep.Tempest.downgrade ~vaddr:va
+        done);
+    old_page.Tt_mem.Pagemem.mode <- mode_remote;
+    old_page.Tt_mem.Pagemem.home <- new_home;
+    old_page.Tt_mem.Pagemem.user <- Tt_mem.Pagemem.No_info;
+    Queue.add vpage (node_state t old_home).stache_fifo;
+    (* the distributed mapping table and the two nodes' local caches *)
+    Hashtbl.replace t.registry vpage new_home;
+    Hashtbl.replace (node_state t old_home).local_homes vpage new_home;
+    Hashtbl.remove (node_state t new_home).local_homes vpage
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let problem = ref None in
+  let fail fmt =
+    Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt
+  in
+  let nnodes = System.nnodes t.sys in
+  Hashtbl.iter
+    (fun vpage home ->
+      let home_mem = System.node_mem t.sys home in
+      let page = Tt_mem.Pagemem.get_page home_mem ~vpage in
+      (* pages retyped by a custom protocol play by that protocol's rules *)
+      if page.Tt_mem.Pagemem.mode = mode_home then begin
+      let dir =
+        match page.Tt_mem.Pagemem.user with
+        | Dir.Home_dir d -> d
+        | _ -> invalid_arg "Stache invariants: home page without directory"
+      in
+      Array.iteri
+        (fun index bd ->
+          let vaddr = Addr.block_addr ~page:vpage ~index in
+          let home_tag = Tt_mem.Pagemem.get_tag home_mem ~vaddr in
+          (match bd.Dir.pending with
+          | Some _ -> fail "block 0x%x: pending transaction at quiescence" vaddr
+          | None -> ());
+          if not (Queue.is_empty bd.Dir.waiters) then
+            fail "block 0x%x: queued waiters at quiescence" vaddr;
+          (* collect remote copies *)
+          let remote_tag n =
+            if n = home then None
+            else
+              let mem = System.node_mem t.sys n in
+              if Tt_mem.Pagemem.is_mapped mem ~vpage then
+                Some (Tt_mem.Pagemem.get_tag mem ~vaddr)
+              else None
+          in
+          for n = 0 to nnodes - 1 do
+            match remote_tag n with
+            | None | Some Tag.Invalid -> ()
+            | Some Tag.Busy -> fail "block 0x%x: node %d stuck Busy" vaddr n
+            | Some Tag.Read_only ->
+                (match bd.Dir.state with
+                | Dir.Shared ->
+                    if not (Sharers.mem bd.Dir.sharers n) then
+                      fail "block 0x%x: node %d has RO copy but is not a \
+                            sharer" vaddr n
+                | Dir.Idle | Dir.Remote_excl _ ->
+                    fail "block 0x%x: node %d has RO copy in state %s" vaddr n
+                      (match bd.Dir.state with
+                      | Dir.Idle -> "Idle"
+                      | Dir.Remote_excl _ -> "Remote_excl"
+                      | Dir.Shared -> "Shared"))
+            | Some Tag.Read_write -> (
+                match bd.Dir.state with
+                | Dir.Remote_excl o when o = n -> ()
+                | _ -> fail "block 0x%x: node %d has RW copy but is not the \
+                             registered owner" vaddr n)
+          done;
+          match bd.Dir.state with
+          | Dir.Idle ->
+              if not (Tag.equal home_tag Tag.Read_write) then
+                fail "block 0x%x: Idle but home tag %s" vaddr
+                  (Tag.to_string home_tag)
+          | Dir.Shared ->
+              if not (Tag.equal home_tag Tag.Read_only) then
+                fail "block 0x%x: Shared but home tag %s" vaddr
+                  (Tag.to_string home_tag)
+          | Dir.Remote_excl o ->
+              if not (Tag.equal home_tag Tag.Invalid) then
+                fail "block 0x%x: Remote_excl but home tag %s" vaddr
+                  (Tag.to_string home_tag);
+              let mem = System.node_mem t.sys o in
+              if
+                not
+                  (Tt_mem.Pagemem.is_mapped mem ~vpage
+                  && Tag.equal (Tt_mem.Pagemem.get_tag mem ~vaddr)
+                       Tag.Read_write)
+              then
+                fail "block 0x%x: owner %d does not hold a RW copy" vaddr o)
+        dir
+      end)
+    t.registry;
+  match !problem with None -> Ok () | Some msg -> Error msg

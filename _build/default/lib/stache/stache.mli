@@ -1,0 +1,78 @@
+(** Stache: user-level transparent shared memory over Tempest (§3).
+
+    Stache turns part of each node's local memory into a large,
+    fully-associative cache for remote data: shared virtual pages are
+    *homed* on one node and faulted in page-at-a-time on other nodes, but
+    coherence is maintained block-at-a-time with an invalidation protocol
+    whose directory is plain software (see {!Dir}).
+
+    Everything here is ordinary user-level protocol code written against the
+    {!Tempest} endpoint — a page-fault handler, block-access-fault handlers
+    for home and stached pages, and a set of active-message handlers.  The
+    machine model never peeks inside.
+
+    Protocol summary:
+    - first access to a remote page → page fault → map a local stache page
+      with all blocks Invalid (FIFO replacement when the stache is full,
+      flushing modified blocks home);
+    - access to an Invalid block → block fault → [get] request to home;
+    - home serves requests from the per-block directory, recalling or
+      invalidating conflicting copies first; the handler for the final
+      invalidation acknowledgment sends the data;
+    - home-node faults bypass messages and operate on the directory
+      directly. *)
+
+type t
+
+val mode_home : int
+(** Page mode of Stache home pages. *)
+
+val mode_remote : int
+(** Page mode of stached (remote copy) pages. *)
+
+val install : Tt_typhoon.System.t -> ?max_stache_pages:int -> unit -> t
+(** Register all Stache handlers on the system.  [max_stache_pages] bounds
+    the per-node stache size in pages (page replacement kicks in beyond
+    it); default unbounded, as when an application lets Stache use all of
+    local memory. *)
+
+val system : t -> Tt_typhoon.System.t
+
+val alloc :
+  t -> th:Tt_sim.Thread.t -> node:int -> ?home:int -> ?align:int ->
+  bytes:int -> unit -> int
+(** Allocate shared memory from the shared heap segment; returns the
+    virtual address.  Pages are homed round-robin unless [home] pins them
+    (the paper: "Stache also allows pages to be allocated on specific
+    nodes").  Runs as CPU-side library code on [node]'s thread. *)
+
+val home_of : t -> vaddr:int -> int
+(** Home node of an allocated address (the distributed mapping table). *)
+
+val prefetch :
+  t -> th:Tt_sim.Thread.t -> node:int -> vaddr:int -> [ `Ro | `Rw ] -> unit
+(** Nonbinding prefetch: if [vaddr]'s block is Invalid on an already-stached
+    page and no request is outstanding, tag it Busy and issue the fetch
+    without blocking — the Busy state's stated purpose (§5.4).  A real
+    access that arrives before the data simply joins the outstanding
+    request.  No-op in every other situation (unmapped page, block already
+    valid, request already in flight). *)
+
+val migrate_page :
+  t -> th:Tt_sim.Thread.t -> node:int -> vpage:int -> new_home:int -> unit
+(** Explicit page migration (§7: Stache "provides support to allow explicit
+    page migration").  Must be called at a quiescent point where no block
+    of the page is remotely owned or mid-transaction (typically right after
+    a barrier); raises [Invalid_argument] otherwise.  The page's data and
+    directory move to [new_home]; the old home keeps a ReadOnly stached
+    copy; stale requests aimed at the old home are forwarded. *)
+
+val stats : t -> Tt_util.Stats.t
+(** Protocol event counters: [get_ro], [get_rw], [upgrade], [inval],
+    [recall], [writeback], [page_replacements], [home_faults]. *)
+
+val check_invariants : t -> (unit, string) result
+(** Directory/tag consistency at a quiescent point: no pending
+    transactions; Idle ⇒ home tag ReadWrite and no remote copy;
+    Shared ⇒ home tag ReadOnly, every remote copy ReadOnly and registered;
+    Remote_excl o ⇒ home tag Invalid and node o's copy ReadWrite. *)

@@ -1,0 +1,1 @@
+lib/sync/msg_sync.ml: Array List Tempest Tt_net Tt_sim Tt_typhoon Tt_util

@@ -1,0 +1,1 @@
+lib/sync/msg_sync.mli: Tt_sim Tt_typhoon Tt_util

@@ -1,0 +1,1 @@
+lib/typhoon/costs.ml:

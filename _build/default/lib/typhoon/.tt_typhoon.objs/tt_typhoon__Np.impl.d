@@ -1,0 +1,1 @@
+lib/typhoon/np.ml: List Queue Tempest Tt_cache Tt_mem Tt_net Tt_sim

@@ -1,0 +1,1 @@
+lib/typhoon/system.ml: Array Bytes Costs Fun Hashtbl Np Option Params Printf Tempest Tt_cache Tt_mem Tt_net Tt_sim Tt_util

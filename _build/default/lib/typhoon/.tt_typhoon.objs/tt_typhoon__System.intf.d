@@ -1,0 +1,1 @@
+lib/typhoon/system.mli: Np Params Tempest Tt_cache Tt_mem Tt_net Tt_sim Tt_util

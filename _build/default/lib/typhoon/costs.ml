@@ -1,0 +1,19 @@
+let dispatch = 3
+
+let send_base = 2
+
+let send_per_word = 1
+
+let tag_op = 1
+
+let force_block = 4
+
+let force_word = 1
+
+let map_page = 20
+
+let unmap_page = 20
+
+let resume_op = 1
+
+let bulk_packet_overhead = 4

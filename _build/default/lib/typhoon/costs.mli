@@ -1,0 +1,35 @@
+(** NP instruction-cost model for built-in Tempest operations.
+
+    The paper charges one cycle per NP instruction plus memory-system
+    delays (§6).  These constants are the per-operation instruction counts
+    we charge automatically inside the endpoint, chosen so that the Stache
+    handlers land on the paper's reported path lengths (14 instructions to
+    request a block, 30 to respond, 20 at data arrival) once their own
+    [charge] calls are added. *)
+
+val dispatch : int
+(** hardware-assisted dispatch: read the dispatch register and jump (§5.1) *)
+
+val send_base : int
+(** store destination-node register + end-of-message store *)
+
+val send_per_word : int
+(** one single-cycle store per payload word *)
+
+val tag_op : int
+(** memory-mapped RTLB tag read/write *)
+
+val force_block : int
+(** 32-byte force read/write through the block-transfer buffer *)
+
+val force_word : int
+
+val map_page : int
+
+val unmap_page : int
+
+val resume_op : int
+(** unmask the CPU's bus-request line *)
+
+val bulk_packet_overhead : int
+(** packetization work per bulk-transfer packet beyond the send stores *)

@@ -1,0 +1,109 @@
+type work =
+  | Message of Tt_net.Message.t
+  | Block_fault of Tempest.fault
+  | Page_fault of {
+      vaddr : int;
+      access : Tt_mem.Tag.access;
+      resumption : Tempest.resumption;
+    }
+  | Deferred of (unit -> unit)
+
+type t = {
+  engine : Tt_sim.Engine.t;
+  np_rtlb : Tt_mem.Tlb.t;
+  np_dcache : Tt_cache.Cache.t;
+  mutable exec : work -> unit;
+  mutable np_clock : int;
+  mutable np_busy : bool;
+  (* each queue holds (ready_time, work); ready times are monotone within a
+     queue, so checking the head suffices *)
+  responses : (int * work) Queue.t;
+  requests : (int * work) Queue.t;
+  faults : (int * work) Queue.t;
+  deferred : (int * work) Queue.t;
+  mutable handled_count : int;
+  mutable busy_cycle_count : int;
+}
+
+let create engine ~rtlb ~dcache () =
+  { engine; np_rtlb = rtlb; np_dcache = dcache;
+    exec = (fun _ -> invalid_arg "Np: exec not installed");
+    np_clock = 0; np_busy = false;
+    responses = Queue.create (); requests = Queue.create ();
+    faults = Queue.create (); deferred = Queue.create ();
+    handled_count = 0; busy_cycle_count = 0 }
+
+let set_exec t exec = t.exec <- exec
+
+let clock t = t.np_clock
+
+let charge t n = t.np_clock <- t.np_clock + n
+
+let rtlb t = t.np_rtlb
+
+let dcache t = t.np_dcache
+
+let busy t = t.np_busy
+
+let handled t = t.handled_count
+
+let busy_cycles t = t.busy_cycle_count
+
+(* Priority: responses, then faults, then requests, then deferred chores
+   (§5.1: the response network must never starve). *)
+let queues t = [ t.responses; t.faults; t.requests; t.deferred ]
+
+(* Next work item ready at the current NP clock; or the earliest future
+   ready time if everything queued is still in flight. *)
+let take_work t =
+  let rec ready = function
+    | [] -> None
+    | q :: rest -> (
+        match Queue.peek_opt q with
+        | Some (at, _) when at <= t.np_clock ->
+            let _, w = Queue.pop q in
+            Some w
+        | Some _ | None -> ready rest)
+  in
+  match ready (queues t) with
+  | Some w -> `Run w
+  | None ->
+      let earliest =
+        List.fold_left
+          (fun acc q ->
+            match Queue.peek_opt q with
+            | Some (at, _) -> (
+                match acc with Some e -> Some (min e at) | None -> Some at)
+            | None -> acc)
+          None (queues t)
+      in
+      (match earliest with Some at -> `Wait at | None -> `Idle)
+
+let rec dispatch t () =
+  match take_work t with
+  | `Idle -> t.np_busy <- false
+  | `Wait at ->
+      (* everything queued is still in flight: idle until it lands *)
+      t.np_clock <- max t.np_clock at;
+      Tt_sim.Engine.at t.engine t.np_clock (dispatch t)
+  | `Run work ->
+      let start = t.np_clock in
+      t.exec work;
+      t.handled_count <- t.handled_count + 1;
+      t.busy_cycle_count <- t.busy_cycle_count + (t.np_clock - start);
+      (* Re-enter the loop at the NP's advanced clock so other simulation
+         events interleave at the right times. *)
+      Tt_sim.Engine.at t.engine t.np_clock (dispatch t)
+
+let post t ~at work =
+  (match work with
+  | Message m when m.Tt_net.Message.vnet = Tt_net.Message.Response ->
+      Queue.add (at, work) t.responses
+  | Message _ -> Queue.add (at, work) t.requests
+  | Block_fault _ | Page_fault _ -> Queue.add (at, work) t.faults
+  | Deferred _ -> Queue.add (at, work) t.deferred);
+  if not t.np_busy then begin
+    t.np_busy <- true;
+    t.np_clock <- max t.np_clock (Tt_sim.Engine.now t.engine);
+    Tt_sim.Engine.at t.engine t.np_clock (dispatch t)
+  end

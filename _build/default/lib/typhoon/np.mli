@@ -1,0 +1,60 @@
+(** Network-interface processor (§5, Figure 2).
+
+    The NP is a run-to-completion, non-preemptive handler engine with its
+    own cycle clock.  Work arrives as incoming messages (two virtual
+    networks), block-access faults from the snooped bus (the BAF buffer),
+    page faults, and deferred chores (bulk-transfer packetization).  The
+    dispatch loop drains work in priority order: response messages first
+    (so request handlers can never starve responses — §5.1's deadlock rule),
+    then faults, then request messages, then deferred work.
+
+    Handler semantics are supplied by the machine model through [exec];
+    the NP itself only sequences work and accounts time. *)
+
+type work =
+  | Message of Tt_net.Message.t
+  | Block_fault of Tempest.fault
+  | Page_fault of {
+      vaddr : int;
+      access : Tt_mem.Tag.access;
+      resumption : Tempest.resumption;
+    }
+  | Deferred of (unit -> unit)
+      (** lowest priority; runs when both send queues would be idle (used by
+          the block-transfer unit, §5.2) *)
+
+type t
+
+val create :
+  Tt_sim.Engine.t ->
+  rtlb:Tt_mem.Tlb.t ->
+  dcache:Tt_cache.Cache.t ->
+  unit ->
+  t
+
+val set_exec : t -> (work -> unit) -> unit
+(** Install the handler-execution function (must be done before any
+    {!post}).  Separate from {!create} to break the node/NP knot. *)
+
+val post : t -> at:int -> work -> unit
+(** Enqueue work that becomes visible to the dispatch loop at time [at]
+    (the causing bus transaction or message arrival), and start the loop if
+    the NP is idle.  Ready times must be monotone per work class. *)
+
+val clock : t -> int
+
+val charge : t -> int -> unit
+(** Charge instruction cycles to the NP clock (only meaningful while a
+    handler is executing). *)
+
+val rtlb : t -> Tt_mem.Tlb.t
+
+val dcache : t -> Tt_cache.Cache.t
+
+val busy : t -> bool
+
+val handled : t -> int
+(** Total work items executed. *)
+
+val busy_cycles : t -> int
+(** Cycles spent executing handlers (NP utilization). *)

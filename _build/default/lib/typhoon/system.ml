@@ -1,0 +1,440 @@
+module Engine = Tt_sim.Engine
+module Thread = Tt_sim.Thread
+module Addr = Tt_mem.Addr
+module Tag = Tt_mem.Tag
+module Pagemem = Tt_mem.Pagemem
+module Tlb = Tt_mem.Tlb
+module Cache = Tt_cache.Cache
+module Message = Tt_net.Message
+module Fabric = Tt_net.Fabric
+(* Params is exposed unwrapped by tt_params *)
+module Stats = Tt_util.Stats
+
+type executor = Np_ctx | Cpu_ctx of Thread.t
+
+type node = {
+  id : int;
+  mem : Pagemem.t;
+  tlb : Tlb.t;
+  cache : Cache.t;
+  np : Np.t;
+  stats : Stats.t;
+  mutable ctx : executor;
+  mutable endpoint : Tempest.t option;
+}
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  fabric : Fabric.t;
+  tables : Tempest.Handlers.tables;
+  nodes : node array;
+  mutable bulk_token : int;
+  bulk_completions : (int, unit -> unit) Hashtbl.t;
+  mutable bulk_handler_id : int;
+}
+
+let engine t = t.engine
+
+let params t = t.params
+
+let nnodes t = Array.length t.nodes
+
+let handlers t = t.tables
+
+let fabric t = t.fabric
+
+let node_of t i = t.nodes.(i)
+
+let node_mem t i = (node_of t i).mem
+
+let node_np t i = (node_of t i).np
+
+let cpu_cache t i = (node_of t i).cache
+
+let cpu_tlb t i = (node_of t i).tlb
+
+let node_stats t i = (node_of t i).stats
+
+let endpoint t i =
+  match (node_of t i).endpoint with
+  | Some e -> e
+  | None -> invalid_arg "System.endpoint: node not initialized"
+
+(* Charge cycles to whoever is currently executing on this node: the NP
+   (handler context) or a CPU thread (library context). *)
+let charge node n =
+  match node.ctx with
+  | Np_ctx -> Np.charge node.np n
+  | Cpu_ctx th -> Thread.advance th n
+
+let exec_clock node =
+  match node.ctx with Np_ctx -> Np.clock node.np | Cpu_ctx th -> Thread.clock th
+
+(* RTLB timing: charge the translation-cache penalty for touching a page's
+   tag metadata. *)
+let rtlb_access node vaddr =
+  charge node (Tlb.access (Np.rtlb node.np) (Addr.page_of vaddr))
+
+let make_endpoint t node =
+  let send ~dst ~vnet ~handler ?(args = [||]) ?(data = Bytes.empty) () =
+    let msg =
+      Message.make ~src:node.id ~dst ~vnet ~handler ~args ~data ()
+    in
+    charge node (Costs.send_base + (Costs.send_per_word * Message.words msg));
+    Fabric.send t.fabric ~at:(exec_clock node) msg
+  in
+  let touch key =
+    match Cache.lookup (Np.dcache node.np) ~block:key with
+    | Some _ -> charge node 1
+    | None ->
+        ignore (Cache.insert (Np.dcache node.np) ~block:key ~state:Tt_cache.Cache.Exclusive);
+        charge node t.params.Params.np_dcache_miss
+  in
+  let map_page ~vpage ~home ~mode ~init_tag =
+    charge node Costs.map_page;
+    ignore (Pagemem.map node.mem ~vpage ~home ~mode ~init_tag)
+  in
+  let unmap_page ~vpage =
+    charge node Costs.unmap_page;
+    Pagemem.unmap node.mem ~vpage;
+    Cache.flush_page node.cache ~vpage;
+    Tlb.flush_entry node.tlb vpage;
+    Tlb.flush_entry (Np.rtlb node.np) vpage
+  in
+  let page_mapped ~vpage = Pagemem.is_mapped node.mem ~vpage in
+  let with_page ~vpage f = f (Pagemem.get_page node.mem ~vpage) in
+  let set_tag ~vaddr tag =
+    rtlb_access node vaddr;
+    charge node Costs.tag_op;
+    Pagemem.set_tag node.mem ~vaddr tag
+  in
+  let bulk_transfer ~dst ~src_va ~dst_va ~len ~on_complete =
+    if len <= 0 then invalid_arg "bulk_transfer: non-positive length";
+    let token = t.bulk_token in
+    t.bulk_token <- t.bulk_token + 1;
+    Hashtbl.replace t.bulk_completions token on_complete;
+    (* Packetize 64 bytes at a time; packets are generated as deferred NP
+       work so the transfer overlaps computation and yields to message
+       handling (§5.2). *)
+    let rec enqueue_chunk off =
+      Np.post node.np ~at:(exec_clock node)
+        (Np.Deferred
+           (fun () ->
+             let chunk = min 64 (len - off) in
+             let data = Pagemem.read_bytes node.mem ~vaddr:(src_va + off) ~len:chunk in
+             let last = if off + chunk >= len then 1 else 0 in
+             let msg =
+               Message.make ~src:node.id ~dst ~vnet:Message.Request
+                 ~handler:t.bulk_handler_id
+                 ~args:[| dst_va + off; token; last |]
+                 ~data ()
+             in
+             Np.charge node.np
+               (Costs.bulk_packet_overhead
+               + Costs.send_base
+               + (Costs.send_per_word * Message.words msg));
+             Fabric.send t.fabric ~at:(Np.clock node.np) msg;
+             if off + chunk < len then enqueue_chunk (off + chunk)))
+    in
+    enqueue_chunk 0
+  in
+  {
+    Tempest.node = node.id;
+    nnodes = Array.length t.nodes;
+    charge = (fun n -> charge node n);
+    touch;
+    send;
+    bulk_transfer;
+    map_page;
+    unmap_page;
+    page_mapped;
+    page_mode = (fun ~vpage -> with_page ~vpage (fun p -> p.Pagemem.mode));
+    set_page_mode =
+      (fun ~vpage ~mode -> with_page ~vpage (fun p -> p.Pagemem.mode <- mode));
+    page_home = (fun ~vpage -> with_page ~vpage (fun p -> p.Pagemem.home));
+    page_user = (fun ~vpage -> with_page ~vpage (fun p -> p.Pagemem.user));
+    set_page_user =
+      (fun ~vpage user -> with_page ~vpage (fun p -> p.Pagemem.user <- user));
+    page_count = (fun () -> Pagemem.page_count node.mem);
+    page_capacity = (fun () -> Pagemem.max_pages node.mem);
+    read_tag =
+      (fun ~vaddr ->
+        rtlb_access node vaddr;
+        charge node Costs.tag_op;
+        Pagemem.get_tag node.mem ~vaddr);
+    set_rw = (fun ~vaddr -> set_tag ~vaddr Tag.Read_write);
+    set_ro = (fun ~vaddr -> set_tag ~vaddr Tag.Read_only);
+    set_busy = (fun ~vaddr -> set_tag ~vaddr Tag.Busy);
+    invalidate =
+      (fun ~vaddr ->
+        set_tag ~vaddr Tag.Invalid;
+        (* invalidate any local CPU-cached copy via the bus (Table 1) *)
+        charge node 2;
+        ignore (Cache.invalidate node.cache ~block:(Addr.block_of vaddr)));
+    downgrade =
+      (fun ~vaddr ->
+        charge node 2;
+        Cache.downgrade node.cache ~block:(Addr.block_of vaddr));
+    force_read_block =
+      (fun ~vaddr ->
+        rtlb_access node vaddr;
+        charge node Costs.force_block;
+        Pagemem.read_block node.mem ~vaddr);
+    force_write_block =
+      (fun ~vaddr data ->
+        rtlb_access node vaddr;
+        charge node Costs.force_block;
+        (* the block-transfer buffer keeps the CPU cache coherent (§5.1):
+           a forced write invalidates any stale CPU-cached copy *)
+        ignore (Cache.invalidate node.cache ~block:(Addr.block_of vaddr));
+        Pagemem.write_block node.mem ~vaddr data);
+    force_read_i64 =
+      (fun ~vaddr ->
+        rtlb_access node vaddr;
+        charge node Costs.force_word;
+        Pagemem.read_i64 node.mem ~vaddr);
+    force_write_i64 =
+      (fun ~vaddr v ->
+        rtlb_access node vaddr;
+        charge node Costs.force_word;
+        ignore (Cache.invalidate node.cache ~block:(Addr.block_of vaddr));
+        Pagemem.write_i64 node.mem ~vaddr v);
+    force_read_f64 =
+      (fun ~vaddr ->
+        rtlb_access node vaddr;
+        charge node Costs.force_word;
+        Pagemem.read_f64 node.mem ~vaddr);
+    force_write_f64 =
+      (fun ~vaddr v ->
+        rtlb_access node vaddr;
+        charge node Costs.force_word;
+        ignore (Cache.invalidate node.cache ~block:(Addr.block_of vaddr));
+        Pagemem.write_f64 node.mem ~vaddr v);
+    resume =
+      (fun r ->
+        charge node Costs.resume_op;
+        Tempest.fire r);
+  }
+
+(* Execute one NP work item: dispatch to the registered user handler. *)
+let np_exec t node work =
+  node.ctx <- Np_ctx;
+  Np.charge node.np Costs.dispatch;
+  let ep = Option.get node.endpoint in
+  (match work with
+  | Np.Message msg ->
+      let handler = Tempest.Handlers.message t.tables msg.Message.handler in
+      handler ep ~src:msg.Message.src ~args:msg.Message.args
+        ~data:msg.Message.data
+  | Np.Block_fault fault ->
+      Stats.incr node.stats "block_faults";
+      (match
+         Tempest.Handlers.block_fault t.tables ~mode:fault.Tempest.fault_mode
+       with
+      | Some handler -> handler ep fault
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Typhoon: block fault at 0x%x on node %d, mode %d, but no \
+                handler registered"
+               fault.Tempest.fault_vaddr node.id fault.Tempest.fault_mode))
+  | Np.Page_fault { vaddr; access; resumption } ->
+      Stats.incr node.stats "page_faults";
+      (match Tempest.Handlers.page_fault t.tables with
+      | Some handler -> handler ep ~vaddr access resumption
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Typhoon: page fault at 0x%x on node %d but no handler \
+                registered"
+               vaddr node.id))
+  | Np.Deferred f -> f ())
+
+let create engine (p : Params.t) =
+  (match Params.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Typhoon.System.create: " ^ msg));
+  let prng = Tt_util.Prng.create ~seed:p.Params.seed in
+  let fabric = Fabric.create engine ~nodes:p.Params.nodes ~latency:p.Params.net_latency
+      ?words_per_cycle:p.Params.link_words_per_cycle () in
+  let tables = Tempest.Handlers.create () in
+  let nodes =
+    Array.init p.Params.nodes (fun id ->
+        let rtlb =
+          Tlb.create ~entries:p.Params.np_tlb_entries
+            ~miss_penalty:p.Params.np_tlb_miss ()
+        in
+        let dcache =
+          Cache.create ~name:(Printf.sprintf "np%d.dcache" id)
+            ~size_bytes:p.Params.np_dcache_bytes ~assoc:p.Params.np_dcache_assoc
+            ~prng:(Tt_util.Prng.split prng) ()
+        in
+        {
+          id;
+          mem = Pagemem.create ?max_pages:None ~node:id ();
+          tlb =
+            Tlb.create ~entries:p.Params.cpu_tlb_entries
+              ~miss_penalty:p.Params.tlb_miss ();
+          cache =
+            Cache.create ~name:(Printf.sprintf "cpu%d.cache" id)
+              ~size_bytes:p.Params.cpu_cache_bytes ~assoc:p.Params.cpu_cache_assoc
+              ~prng:(Tt_util.Prng.split prng) ();
+          np = Np.create engine ~rtlb ~dcache ();
+          stats = Stats.create (Printf.sprintf "node%d" id);
+          ctx = Np_ctx;
+          endpoint = None;
+        })
+  in
+  let t =
+    { engine; params = p; fabric; tables; nodes; bulk_token = 0;
+      bulk_completions = Hashtbl.create 16; bulk_handler_id = -1 }
+  in
+  Array.iter
+    (fun node ->
+      node.endpoint <- Some (make_endpoint t node);
+      Np.set_exec node.np (np_exec t node);
+      Fabric.set_receiver fabric ~node:node.id (fun msg ->
+          Np.post node.np ~at:(Engine.now engine) (Np.Message msg)))
+    nodes;
+  (* Built-in receive handler for bulk-transfer packets: force-write the
+     data at the destination address; the last packet fires the completion
+     callback. *)
+  let bulk_handler ep ~src:_ ~args ~data =
+    let dst_va = args.(0) and token = args.(1) and last = args.(2) in
+    ep.Tempest.charge 2;
+    let rec write off =
+      if off < Bytes.length data then begin
+        let word =
+          Bytes.get_int64_le data off
+        in
+        ep.Tempest.force_write_i64 ~vaddr:(dst_va + off) word;
+        write (off + 8)
+      end
+    in
+    if Bytes.length data mod 8 = 0 && Addr.is_word_aligned dst_va then write 0
+    else begin
+      (* unaligned tail: byte path through the page store *)
+      ep.Tempest.charge (Bytes.length data / 4);
+      Pagemem.write_bytes (node_mem t ep.Tempest.node) ~vaddr:dst_va data
+    end;
+    if last = 1 then begin
+      match Hashtbl.find_opt t.bulk_completions token with
+      | Some complete ->
+          Hashtbl.remove t.bulk_completions token;
+          complete ()
+      | None -> ()
+    end
+  in
+  t.bulk_handler_id <-
+    Tempest.Handlers.register_message tables ~name:"__bulk" bulk_handler;
+  t
+
+let with_cpu_context t ~node th f =
+  let n = node_of t node in
+  let saved = n.ctx in
+  n.ctx <- Cpu_ctx th;
+  Fun.protect ~finally:(fun () -> n.ctx <- saved) f
+
+(* ------------------------------------------------------------------ *)
+(* CPU tag-checked access path (Table 1 read/write; §5.4)             *)
+(* ------------------------------------------------------------------ *)
+
+let suspend_on_fault node th post_fault =
+  Thread.suspend th (fun wake ->
+      let resumption =
+        Tempest.make_resumption (fun () ->
+            (* the CPU retries once the NP unmasks its bus request *)
+            Thread.set_clock th (max (Thread.clock th) (Np.clock node.np));
+            wake ())
+      in
+      post_fault resumption)
+
+let rec cpu_access t ~node th access vaddr =
+  let n = node_of t node in
+  Stats.incr n.stats "accesses";
+  Thread.maybe_yield th;
+  Thread.advance th 1;
+  let vpage = Addr.page_of vaddr in
+  Thread.advance th (Tlb.access n.tlb vpage);
+  match Pagemem.find_page n.mem ~vpage with
+  | None ->
+      Thread.advance th t.params.Params.fault_detect;
+      suspend_on_fault n th (fun resumption ->
+          Np.post n.np ~at:(Thread.clock th)
+            (Np.Page_fault { vaddr; access; resumption }));
+      (* retry after the user page-fault handler resumes us *)
+      cpu_access t ~node th access vaddr
+  | Some page -> (
+      let block = Addr.block_of vaddr in
+      let block_fault () =
+        (* the denied bus transaction: inhibit + relinquish-and-retry *)
+        Thread.advance th t.params.Params.fault_detect;
+        let tag = Pagemem.get_tag n.mem ~vaddr in
+        let fault =
+          {
+            Tempest.fault_vaddr = vaddr;
+            fault_access = access;
+            fault_tag = tag;
+            fault_mode = page.Pagemem.mode;
+            fault_resumption = Tempest.make_resumption (fun () -> ());
+          }
+        in
+        suspend_on_fault n th (fun resumption ->
+            Np.post n.np ~at:(Thread.clock th)
+              (Np.Block_fault
+                 { fault with Tempest.fault_resumption = resumption }));
+        cpu_access t ~node th access vaddr
+      in
+      match Cache.lookup n.cache ~block with
+      | Some Tt_cache.Cache.Exclusive -> ()
+      | Some Tt_cache.Cache.Shared when access = Tag.Load -> ()
+      | Some Tt_cache.Cache.Shared ->
+          (* write hit on an unowned line: bus Invalidate transaction,
+             snooped against the tag *)
+          let tag = Pagemem.get_tag n.mem ~vaddr in
+          if Tag.permits tag Tag.Store then begin
+            Stats.incr n.stats "upgrades";
+            Thread.advance th t.params.Params.upgrade;
+            Cache.set_state n.cache ~block Tt_cache.Cache.Exclusive
+          end
+          else block_fault ()
+      | None ->
+          (* miss: bus Read / Read-invalidate transaction *)
+          let tag = Pagemem.get_tag n.mem ~vaddr in
+          if Tag.permits tag access then begin
+            Stats.incr n.stats "local_misses";
+            Thread.advance th t.params.Params.local_miss;
+            (* the NP asserts "shared" for ReadOnly blocks so the CPU cannot
+               own its copy *)
+            let state =
+              if Tag.equal tag Tag.Read_only then Tt_cache.Cache.Shared
+              else Tt_cache.Cache.Exclusive
+            in
+            (* evictions are silent: values are written through to local
+               memory and the perfect write buffer makes writebacks free *)
+            ignore (Cache.insert n.cache ~block ~state)
+          end
+          else block_fault ())
+
+let cpu_read_f64 t ~node th vaddr =
+  cpu_access t ~node th Tag.Load vaddr;
+  Pagemem.read_f64 (node_of t node).mem ~vaddr
+
+let cpu_write_f64 t ~node th vaddr v =
+  cpu_access t ~node th Tag.Store vaddr;
+  Pagemem.write_f64 (node_of t node).mem ~vaddr v
+
+let cpu_read_int t ~node th vaddr =
+  cpu_access t ~node th Tag.Load vaddr;
+  Pagemem.read_int (node_of t node).mem ~vaddr
+
+let cpu_write_int t ~node th vaddr v =
+  cpu_access t ~node th Tag.Store vaddr;
+  Pagemem.write_int (node_of t node).mem ~vaddr v
+
+let merged_stats t =
+  let out = Stats.create "typhoon" in
+  Array.iter (fun n -> Stats.merge_into ~dst:out n.stats) t.nodes;
+  Stats.merge_into ~dst:out (Fabric.stats t.fabric);
+  out

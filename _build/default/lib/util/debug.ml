@@ -1,0 +1,7 @@
+let target =
+  match Sys.getenv_opt "TT_DEBUG_BLOCK" with
+  | Some s -> int_of_string_opt s
+  | None -> None
+
+let log ~key fmt =
+  Printf.ksprintf (fun msg -> if target = Some key then prerr_endline msg) fmt

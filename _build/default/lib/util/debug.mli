@@ -1,0 +1,12 @@
+(** Per-block protocol event tracing.
+
+    Set the environment variable [TT_DEBUG_BLOCK] to a block identifier
+    (for DirNNB a global block number, for Stache a block-base virtual
+    address; decimal or 0x-prefixed) and every protocol event touching that
+    block is streamed to stderr.  Zero cost when unset. *)
+
+val target : int option
+(** The requested block key, parsed once at startup. *)
+
+val log : key:int -> ('a, unit, string, unit) format4 -> 'a
+(** [log ~key fmt …] prints to stderr iff [key] matches [target]. *)

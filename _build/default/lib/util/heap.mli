@@ -1,0 +1,31 @@
+(** Resizable binary min-heap.
+
+    The simulator's event queue is the hot path of every experiment, so this
+    is a plain array-backed heap with no per-node allocation beyond the
+    stored elements. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] builds an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructively list the contents in ascending order (test helper;
+    costs a heap copy). *)

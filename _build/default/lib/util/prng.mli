@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator (cache victim selection, workload
+    topology, synthetic traffic) draws from an explicitly-seeded [Prng.t] so
+    that simulations are reproducible bit-for-bit across runs. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent duplicate continuing from the current state. *)
+
+val split : t -> t
+(** Derive a statistically independent child generator; the parent
+    advances. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,52 @@
+type t = {
+  label : string;
+  table : (string, int) Hashtbl.t;
+  maxima : (string, unit) Hashtbl.t; (* keys merged with [max] rather than [+] *)
+}
+
+let create label = { label; table = Hashtbl.create 32; maxima = Hashtbl.create 4 }
+
+let name t = t.label
+
+let get t key = match Hashtbl.find_opt t.table key with Some v -> v | None -> 0
+
+let set t key v = Hashtbl.replace t.table key v
+
+let add t key n = set t key (get t key + n)
+
+let incr t key = add t key 1
+
+let set_max t key v =
+  Hashtbl.replace t.maxima key ();
+  if v > get t key then set t key v
+
+let observe t key v =
+  incr t (key ^ ".count");
+  add t (key ^ ".sum") v;
+  let kmin = key ^ ".min" and kmax = key ^ ".max" in
+  Hashtbl.replace t.maxima kmax ();
+  if not (Hashtbl.mem t.table kmin) || v < get t kmin then set t kmin v;
+  if v > get t kmax then set t kmax v
+
+let mean t key =
+  let count = get t (key ^ ".count") in
+  if count = 0 then 0.0 else float_of_int (get t (key ^ ".sum")) /. float_of_int count
+
+let counters t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into ~dst src =
+  Hashtbl.iter
+    (fun k v ->
+      if Hashtbl.mem src.maxima k then set_max dst k v else add dst k v)
+    src.table
+
+let reset t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.maxima
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>%s:" t.label;
+  List.iter (fun (k, v) -> Format.fprintf ppf "@,%-40s %d" k v) (counters t);
+  Format.fprintf ppf "@]"

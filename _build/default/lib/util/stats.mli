@@ -1,0 +1,39 @@
+(** Named counters and simple distributions.
+
+    Every subsystem (caches, network, NP, protocols) owns a [Stats.t] group;
+    the harness merges and reports them per run.  Counters are plain ints —
+    nothing here is on a hot path that justifies fancier machinery. *)
+
+type t
+
+val create : string -> t
+(** [create name] is an empty counter group labelled [name]. *)
+
+val name : t -> string
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** Missing counters read as 0. *)
+
+val set_max : t -> string -> int -> unit
+(** Keep the maximum of the current value and the argument. *)
+
+val observe : t -> string -> int -> unit
+(** Record one sample of a distribution: tracks count, sum, min and max under
+    [key ^ ".count"], [".sum"], [".min"], [".max"]. *)
+
+val mean : t -> string -> float
+(** Mean of a distribution recorded with {!observe}; 0 if empty. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by key. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every counter of the source into [dst] (maxima are max-merged). *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Tablefmt.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Separator -> w
+            | Cells cells -> max w (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 256 in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let hline () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells aligns cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i and a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a w cell ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  hline ();
+  emit_cells (List.map (fun _ -> Left) t.columns) headers;
+  hline ();
+  List.iter
+    (fun row ->
+      match row with
+      | Separator -> hline ()
+      | Cells cells -> emit_cells (List.map snd t.columns) cells)
+    rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,20 @@
+(** ASCII table rendering for experiment reports.
+
+    The harness prints every reproduced paper table/figure as one of these,
+    so output stays diffable in [test_output.txt]/[bench_output.txt]. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** The row must have exactly as many cells as there are columns. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest List Params Printf Tt_app Tt_harness Tt_util

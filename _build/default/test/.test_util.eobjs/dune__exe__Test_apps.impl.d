@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List Params Printexc Printf String Tt_app Tt_harness

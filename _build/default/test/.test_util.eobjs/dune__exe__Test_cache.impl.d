@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Hashtbl List Printf QCheck QCheck_alcotest Tt_cache Tt_mem Tt_util

@@ -1,0 +1,1 @@
+test/test_custom.ml: Alcotest Array List Params Printf Tt_app Tt_custom Tt_harness Tt_mem Tt_sim Tt_stache Tt_typhoon Tt_util

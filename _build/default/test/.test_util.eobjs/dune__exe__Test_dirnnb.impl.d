@@ -1,0 +1,1 @@
+test/test_dirnnb.ml: Alcotest Array List Params Printf QCheck QCheck_alcotest Tt_dirnnb Tt_mem Tt_sim Tt_util

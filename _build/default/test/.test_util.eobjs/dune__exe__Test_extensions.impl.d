@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Env Hashtbl List Option Params Printf Tt_app Tt_harness Tt_mem Tt_sim Tt_stache Tt_sync Tt_typhoon Tt_util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array List Params Printf String Tempest Tt_app Tt_harness Tt_mem Tt_net Tt_sim Tt_typhoon Tt_util

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Tt_mem

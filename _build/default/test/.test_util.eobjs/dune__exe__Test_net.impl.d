@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes List Tt_net Tt_sim Tt_util

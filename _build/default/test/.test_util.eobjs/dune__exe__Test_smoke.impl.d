@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Array List Params Printf Tt_app Tt_harness

@@ -1,0 +1,1 @@
+test/test_stache.ml: Alcotest Array List Params Printf QCheck QCheck_alcotest Tt_mem Tt_net Tt_sim Tt_stache Tt_typhoon Tt_util

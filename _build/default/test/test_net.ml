@@ -1,0 +1,123 @@
+(* Tests for active messages and the interconnect. *)
+
+module Engine = Tt_sim.Engine
+module Message = Tt_net.Message
+module Fabric = Tt_net.Fabric
+module Stats = Tt_util.Stats
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let msg ?(src = 0) ?(dst = 1) ?(vnet = Message.Request) ?(handler = 0)
+    ?(args = [||]) ?(data = Bytes.empty) () =
+  Message.make ~src ~dst ~vnet ~handler ~args ~data ()
+
+(* ---------------- Message ---------------- *)
+
+let test_message_word_accounting () =
+  check_int "handler only" 1 (Message.words (msg ()));
+  check_int "args count" 4 (Message.words (msg ~args:[| 1; 2; 3 |] ()));
+  check_int "data rounds up" (1 + 2)
+    (Message.words (msg ~data:(Bytes.create 5) ()));
+  check_int "32-byte block" 9 (Message.words (msg ~data:(Bytes.create 32) ()))
+
+let test_message_packet_limit () =
+  (* 1 + 3 + 16 = 20 words: exactly the Typhoon maximum *)
+  ignore (msg ~args:[| 1; 2; 3 |] ~data:(Bytes.create 64) ());
+  try
+    ignore (msg ~args:[| 1; 2; 3; 4 |] ~data:(Bytes.create 64) ());
+    Alcotest.fail "over-limit packet must raise"
+  with Invalid_argument _ -> ()
+
+(* ---------------- Fabric ---------------- *)
+
+let mk_fabric ?(nodes = 4) ?(latency = 11) () =
+  let e = Engine.create () in
+  (e, Fabric.create e ~nodes ~latency ())
+
+let test_fabric_delivery_time () =
+  let e, f = mk_fabric () in
+  let arrival = ref (-1) in
+  Fabric.set_receiver f ~node:1 (fun _ -> arrival := Engine.now e);
+  Fabric.send f ~at:100 (msg ());
+  Engine.run e;
+  check_int "arrives at send + latency" 111 !arrival
+
+let test_fabric_local_short_circuit () =
+  let e, f = mk_fabric () in
+  let arrival = ref (-1) in
+  Fabric.set_receiver f ~node:0 (fun _ -> arrival := Engine.now e);
+  Fabric.send f ~at:50 (msg ~dst:0 ());
+  Engine.run e;
+  check_int "local latency 1" 51 !arrival;
+  check_int "local counted" 1 (Stats.get (Fabric.stats f) "msgs.local")
+
+let test_fabric_pairwise_fifo () =
+  let e, f = mk_fabric () in
+  let log = ref [] in
+  Fabric.set_receiver f ~node:1 (fun m -> log := m.Message.handler :: !log);
+  (* same source, increasing send times: must arrive in order *)
+  Fabric.send f ~at:10 (msg ~handler:1 ());
+  Fabric.send f ~at:11 (msg ~handler:2 ());
+  Fabric.send f ~at:11 (msg ~handler:3 ());
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 3 ] (List.rev !log)
+
+let test_fabric_stats () =
+  let e, f = mk_fabric () in
+  Fabric.set_receiver f ~node:1 (fun _ -> ());
+  Fabric.send f ~at:0 (msg ~vnet:Message.Request ~args:[| 1 |] ());
+  Fabric.send f ~at:0 (msg ~vnet:Message.Response ~data:(Bytes.create 32) ());
+  Engine.run e;
+  let s = Fabric.stats f in
+  check_int "request msgs" 1 (Stats.get s "msgs.request");
+  check_int "response msgs" 1 (Stats.get s "msgs.response");
+  check_int "request words" 2 (Stats.get s "words.request");
+  check_int "response words" 9 (Stats.get s "words.response")
+
+let test_fabric_no_receiver () =
+  let e, f = mk_fabric () in
+  Fabric.send f ~at:0 (msg ~dst:2 ());
+  try
+    Engine.run e;
+    Alcotest.fail "missing receiver must raise"
+  with Invalid_argument _ -> ()
+
+let test_fabric_bad_destination () =
+  let _, f = mk_fabric ~nodes:2 () in
+  try
+    Fabric.send f ~at:0 (msg ~dst:7 ());
+    Alcotest.fail "bad destination must raise"
+  with Invalid_argument _ -> ()
+
+let test_fabric_causality_clamp () =
+  (* a send stamped in the past (sender clock lagging) still delivers at or
+     after 'now' *)
+  let e, f = mk_fabric () in
+  let arrival = ref (-1) in
+  Fabric.set_receiver f ~node:1 (fun _ -> arrival := Engine.now e);
+  Engine.at e 500 (fun () -> Fabric.send f ~at:3 (msg ()));
+  Engine.run e;
+  check_bool "clamped to now" true (!arrival >= 500)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "message",
+        [
+          Alcotest.test_case "word accounting" `Quick test_message_word_accounting;
+          Alcotest.test_case "packet limit" `Quick test_message_packet_limit;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "delivery time" `Quick test_fabric_delivery_time;
+          Alcotest.test_case "local short circuit" `Quick
+            test_fabric_local_short_circuit;
+          Alcotest.test_case "pairwise FIFO" `Quick test_fabric_pairwise_fifo;
+          Alcotest.test_case "traffic stats" `Quick test_fabric_stats;
+          Alcotest.test_case "missing receiver" `Quick test_fabric_no_receiver;
+          Alcotest.test_case "bad destination" `Quick test_fabric_bad_destination;
+          Alcotest.test_case "causality clamp" `Quick test_fabric_causality_clamp;
+        ] );
+    ]

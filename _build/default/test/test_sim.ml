@@ -1,0 +1,317 @@
+(* Tests for the discrete-event engine, effect-based threads, barriers and
+   locks. *)
+
+module Engine = Tt_sim.Engine
+module Thread = Tt_sim.Thread
+module Barrier = Tt_sim.Barrier
+module Lock = Tt_sim.Lock
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Engine ---------------- *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e 30 (fun () -> log := 30 :: !log);
+  Engine.at e 10 (fun () -> log := 10 :: !log);
+  Engine.at e 20 (fun () -> log := 20 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log);
+  check_int "now = last event" 30 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.at e 5 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO among equal timestamps"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.at e 10 (fun () ->
+      try
+        Engine.at e 5 (fun () -> ());
+        Alcotest.fail "scheduling in the past must raise"
+      with Invalid_argument _ -> ());
+  Engine.run e
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e 1 (fun () ->
+      log := 1 :: !log;
+      Engine.after e 5 (fun () -> log := 6 :: !log);
+      Engine.after e 1 (fun () -> log := 2 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "nested" [ 1; 2; 6 ] (List.rev !log)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.at e 10 (fun () -> incr fired);
+  Engine.at e 100 (fun () -> incr fired);
+  let finished = Engine.run_until e ~limit:50 in
+  check_bool "not finished" false finished;
+  check_int "one event fired" 1 !fired;
+  check_int "pending" 1 (Engine.pending e);
+  check_bool "finishes" true (Engine.run_until e ~limit:1000)
+
+(* ---------------- Thread ---------------- *)
+
+let test_thread_basic_lifecycle () =
+  let e = Engine.create () in
+  let ran = ref false in
+  let th =
+    Thread.spawn e ~name:"t" (fun th ->
+        Thread.advance th 42;
+        ran := true)
+  in
+  check_bool "not run before engine" false !ran;
+  Engine.run e;
+  check_bool "ran" true !ran;
+  check_bool "finished" true (Thread.finished th);
+  check_int "clock" 42 (Thread.clock th)
+
+let test_thread_suspend_resume_value () =
+  let e = Engine.create () in
+  let got = ref 0 in
+  let _th =
+    Thread.spawn e ~name:"t" (fun th ->
+        let v = Thread.suspend th (fun wake -> Engine.after e 10 (fun () -> wake 17)) in
+        got := v)
+  in
+  Engine.run e;
+  check_int "value delivered" 17 !got
+
+let test_thread_wake_sets_clock () =
+  let e = Engine.create () in
+  let resumed_clock = ref 0 in
+  let _th =
+    Thread.spawn e ~name:"t" (fun th ->
+        Thread.advance th 5;
+        Thread.suspend th (fun wake -> Engine.at e 100 (fun () -> wake ()));
+        resumed_clock := Thread.clock th)
+  in
+  Engine.run e;
+  (* woken at engine time 100 with local clock 5: clock jumps to 100 *)
+  check_int "clock advanced to wake time" 100 !resumed_clock
+
+let test_thread_wake_twice_rejected () =
+  let e = Engine.create () in
+  let saved = ref (fun _ -> ()) in
+  let _th =
+    Thread.spawn e ~name:"t" (fun th ->
+        ignore (Thread.suspend th (fun wake -> saved := wake)))
+  in
+  Engine.run e;
+  !saved 0;
+  Engine.run e;
+  Alcotest.check_raises "second wake rejected"
+    (Invalid_argument "Thread t woken twice") (fun () -> !saved 0)
+
+let test_thread_exception_wrapped () =
+  let e = Engine.create () in
+  let _th = Thread.spawn e ~name:"boom" (fun _ -> failwith "oops") in
+  (try
+     Engine.run e;
+     Alcotest.fail "expected Failure_in"
+   with Thread.Failure_in (name, Failure msg) ->
+     check_bool "thread name" true (name = "boom");
+     check_bool "message" true (msg = "oops"));
+  ()
+
+let test_thread_maybe_yield_interleaves () =
+  (* two threads doing pure local work must interleave at quantum
+     granularity rather than running to completion one after the other *)
+  let e = Engine.create () in
+  let order = ref [] in
+  let body id th =
+    for step = 0 to 3 do
+      Thread.advance th 100;
+      Thread.maybe_yield th;
+      order := (id, step) :: !order
+    done
+  in
+  let _a = Thread.spawn e ~quantum:50 ~name:"a" (body `A) in
+  let _b = Thread.spawn e ~quantum:50 ~name:"b" (body `B) in
+  Engine.run e;
+  let seq = List.rev !order in
+  (* with 100-cycle steps and a 50-cycle quantum, A and B must alternate *)
+  let rec alternates = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <> b && alternates rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "threads alternate" true (alternates seq)
+
+let test_thread_set_clock () =
+  let e = Engine.create () in
+  let th = Thread.spawn e ~name:"t" (fun _ -> ()) in
+  Thread.set_clock th 123;
+  check_int "set_clock" 123 (Thread.clock th);
+  Engine.run e
+
+(* ---------------- Barrier ---------------- *)
+
+let test_barrier_releases_all_at_max () =
+  let e = Engine.create () in
+  let b = Barrier.create e ~participants:3 ~latency:11 in
+  let clocks = Array.make 3 0 in
+  let spawn i arrive =
+    Thread.spawn e ~name:(Printf.sprintf "p%d" i) (fun th ->
+        Thread.advance th arrive;
+        Barrier.wait b th;
+        clocks.(i) <- Thread.clock th)
+  in
+  let _ = spawn 0 10 and _ = spawn 1 50 and _ = spawn 2 30 in
+  Engine.run e;
+  Array.iteri
+    (fun i c -> check_int (Printf.sprintf "p%d released at max+latency" i) 61 c)
+    clocks;
+  check_int "one episode" 1 (Barrier.episodes b)
+
+let test_barrier_reusable () =
+  let e = Engine.create () in
+  let b = Barrier.create e ~participants:2 ~latency:5 in
+  let rounds = 4 in
+  let body th =
+    for _ = 1 to rounds do
+      Thread.advance th 3;
+      Barrier.wait b th
+    done
+  in
+  let t1 = Thread.spawn e ~name:"x" body in
+  let t2 = Thread.spawn e ~name:"y" body in
+  Engine.run e;
+  check_bool "both finished" true (Thread.finished t1 && Thread.finished t2);
+  check_int "episodes" rounds (Barrier.episodes b)
+
+let test_barrier_single_participant () =
+  let e = Engine.create () in
+  let b = Barrier.create e ~participants:1 ~latency:7 in
+  let th =
+    Thread.spawn e ~name:"solo" (fun th ->
+        Barrier.wait b th;
+        Barrier.wait b th)
+  in
+  Engine.run e;
+  check_bool "finished" true (Thread.finished th);
+  check_int "latency charged twice" 14 (Thread.clock th)
+
+(* ---------------- Lock ---------------- *)
+
+let test_lock_mutual_exclusion () =
+  let e = Engine.create () in
+  let l = Lock.create e () in
+  let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+  let body th =
+    for _ = 1 to 5 do
+      Lock.acquire l th;
+      incr inside;
+      if !inside > !max_inside then max_inside := !inside;
+      incr total;
+      Thread.advance th 20;
+      Thread.yield th;
+      decr inside;
+      Lock.release l th
+    done
+  in
+  let threads =
+    Array.init 4 (fun i -> Thread.spawn e ~name:(Printf.sprintf "w%d" i) body)
+  in
+  Engine.run e;
+  Array.iter (fun th -> check_bool "finished" true (Thread.finished th)) threads;
+  check_int "never two holders" 1 !max_inside;
+  check_int "all critical sections ran" 20 !total;
+  check_int "acquires counted" 20 (Lock.acquires l);
+  check_bool "some contention" true (Lock.contended_acquires l > 0)
+
+let test_lock_uncontended_cost () =
+  let e = Engine.create () in
+  let l = Lock.create e ~uncontended_cost:2 ~transfer_cost:11 () in
+  let th =
+    Thread.spawn e ~name:"t" (fun th ->
+        Lock.acquire l th;
+        Lock.release l th)
+  in
+  Engine.run e;
+  check_int "uncontended costs 2" 2 (Thread.clock th)
+
+let test_lock_release_without_hold () =
+  let e = Engine.create () in
+  let l = Lock.create e () in
+  let _th =
+    Thread.spawn e ~name:"t" (fun th ->
+        try
+          Lock.release l th;
+          Alcotest.fail "release without hold must raise"
+        with Invalid_argument _ -> ())
+  in
+  Engine.run e
+
+let test_lock_with_lock_releases_on_exn () =
+  let e = Engine.create () in
+  let l = Lock.create e () in
+  let second_got_lock = ref false in
+  let _t1 =
+    Thread.spawn e ~name:"t1" (fun th ->
+        try Lock.with_lock l th (fun () -> failwith "boom") with Failure _ -> ())
+  in
+  let _t2 =
+    Thread.spawn e ~name:"t2" (fun th ->
+        Thread.advance th 100;
+        Thread.yield th;
+        Lock.with_lock l th (fun () -> second_got_lock := true))
+  in
+  Engine.run e;
+  check_bool "lock released after exception" true !second_got_lock
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_time_order;
+          Alcotest.test_case "FIFO ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_scheduling;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+        ] );
+      ( "thread",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_thread_basic_lifecycle;
+          Alcotest.test_case "suspend/resume value" `Quick
+            test_thread_suspend_resume_value;
+          Alcotest.test_case "wake sets clock" `Quick test_thread_wake_sets_clock;
+          Alcotest.test_case "wake twice rejected" `Quick
+            test_thread_wake_twice_rejected;
+          Alcotest.test_case "exception wrapped" `Quick
+            test_thread_exception_wrapped;
+          Alcotest.test_case "quantum interleaving" `Quick
+            test_thread_maybe_yield_interleaves;
+          Alcotest.test_case "set_clock" `Quick test_thread_set_clock;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "releases all at max+latency" `Quick
+            test_barrier_releases_all_at_max;
+          Alcotest.test_case "reusable" `Quick test_barrier_reusable;
+          Alcotest.test_case "single participant" `Quick
+            test_barrier_single_participant;
+        ] );
+      ( "lock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_lock_mutual_exclusion;
+          Alcotest.test_case "uncontended cost" `Quick test_lock_uncontended_cost;
+          Alcotest.test_case "release without hold" `Quick
+            test_lock_release_without_hold;
+          Alcotest.test_case "with_lock releases on exception" `Quick
+            test_lock_with_lock_releases_on_exn;
+        ] );
+    ]

@@ -1,0 +1,366 @@
+(* Unit and property tests for tt_util: PRNG, heap, vector, bit set,
+   statistics, table formatting. *)
+
+module Prng = Tt_util.Prng
+module Heap = Tt_util.Heap
+module Vec = Tt_util.Vec
+module Bitset = Tt_util.Bitset
+module Stats = Tt_util.Stats
+module Tablefmt = Tt_util.Tablefmt
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---------------- PRNG ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  check_bool "different seeds diverge" false
+    (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t 13 in
+    check_bool "in [0,13)" true (v >= 0 && v < 13)
+  done
+
+let test_prng_int_covers_range () =
+  let t = Prng.create ~seed:11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int t 8) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_prng_int_in () =
+  let t = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in t ~lo:(-3) ~hi:4 in
+    check_bool "in [-3,4]" true (v >= -3 && v <= 4)
+  done
+
+let test_prng_float_bounds () =
+  let t = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    check_bool "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_chance_extremes () =
+  let t = Prng.create ~seed:3 in
+  for _ = 1 to 100 do
+    check_bool "p=0 never" false (Prng.chance t 0.0)
+  done;
+  for _ = 1 to 100 do
+    check_bool "p=1 always" true (Prng.chance t 1.0)
+  done
+
+let test_prng_shuffle_is_permutation () =
+  let t = Prng.create ~seed:21 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:77 in
+  let child = Prng.split parent in
+  check_bool "child differs from parent" false
+    (Prng.next_int64 child = Prng.next_int64 parent)
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:13 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let prop_prng_nonnegative =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let t = Prng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Prng.int t bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:compare () in
+  check_bool "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  check_int "length" 6 (Heap.length h);
+  check_int "peek is min" 1 (Option.get (Heap.peek h));
+  check_int "pop order 1" 1 (Heap.pop_exn h);
+  check_int "pop order 2" 2 (Heap.pop_exn h);
+  Heap.push h 0;
+  check_int "new min" 0 (Heap.pop_exn h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:compare () in
+  Alcotest.(check (option int)) "pop on empty" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_to_sorted_list () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 4; 1; 3; 2 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4 ] (Heap.to_sorted_list h);
+  check_int "non-destructive" 4 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:500
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap min is correct under interleaved push/pop"
+    ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Heap.push h v;
+            model := List.sort compare (v :: !model);
+            true
+          end
+          else
+            match Heap.pop h, !model with
+            | None, [] -> true
+            | Some x, m :: rest ->
+                model := rest;
+                x = m
+            | Some _, [] | None, _ :: _ -> false)
+        ops)
+
+(* ---------------- Vec ---------------- *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  check_bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 42 (Vec.get v 21);
+  Vec.set v 21 7;
+  check_int "set" 7 (Vec.get v 21);
+  Alcotest.(check (option int)) "pop" (Some 198) (Vec.pop v);
+  check_int "length after pop" 99 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v 3))
+
+let test_vec_conversions () =
+  let v = Vec.of_list [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check (list int)) "to_list" [ 3; 1; 4; 1; 5 ] (Vec.to_list v);
+  Alcotest.(check (array int)) "to_array" [| 3; 1; 4; 1; 5 |] (Vec.to_array v);
+  check_int "fold" 14 (Vec.fold_left ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  check_int "iteri count" 5 (List.length !seen)
+
+(* ---------------- Bitset ---------------- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  check_bool "initially empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 99;
+  check_int "cardinal" 3 (Bitset.cardinal b);
+  check_bool "mem 63" true (Bitset.mem b 63);
+  Bitset.remove b 63;
+  check_bool "removed" false (Bitset.mem b 63);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 99 ] (Bitset.to_list b);
+  Bitset.clear b;
+  check_bool "cleared" true (Bitset.is_empty b)
+
+let test_bitset_range_check () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bitset: element out of range") (fun () -> Bitset.add b 8)
+
+let test_bitset_copy_equal () =
+  let a = Bitset.create 40 in
+  Bitset.add a 5;
+  Bitset.add a 35;
+  let b = Bitset.copy a in
+  check_bool "copies equal" true (Bitset.equal a b);
+  Bitset.add b 7;
+  check_bool "diverged" false (Bitset.equal a b)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with a set model" ~count:300
+    QCheck.(list (pair bool (int_range 0 61)))
+    (fun ops ->
+      let b = Bitset.create 62 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, x) ->
+          if add then begin
+            Bitset.add b x;
+            Hashtbl.replace model x ()
+          end
+          else begin
+            Bitset.remove b x;
+            Hashtbl.remove model x
+          end)
+        ops;
+      Bitset.cardinal b = Hashtbl.length model
+      && List.for_all (fun x -> Hashtbl.mem model x) (Bitset.to_list b))
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_counters () =
+  let s = Stats.create "test" in
+  check_int "missing reads 0" 0 (Stats.get s "nope");
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "a" 3;
+  check_int "incr+add" 5 (Stats.get s "a")
+
+let test_stats_observe_mean () =
+  let s = Stats.create "test" in
+  List.iter (Stats.observe s "lat") [ 10; 20; 30 ];
+  check_int "count" 3 (Stats.get s "lat.count");
+  check_int "sum" 60 (Stats.get s "lat.sum");
+  check_int "min" 10 (Stats.get s "lat.min");
+  check_int "max" 30 (Stats.get s "lat.max");
+  Alcotest.(check (float 0.001)) "mean" 20.0 (Stats.mean s "lat")
+
+let test_stats_merge () =
+  let a = Stats.create "a" and b = Stats.create "b" in
+  Stats.add a "x" 5;
+  Stats.add b "x" 7;
+  Stats.set_max a "m" 10;
+  Stats.set_max b "m" 4;
+  Stats.merge_into ~dst:a b;
+  check_int "sums add" 12 (Stats.get a "x");
+  check_int "maxima take max" 10 (Stats.get a "m")
+
+let test_stats_set_max () =
+  let s = Stats.create "t" in
+  Stats.set_max s "peak" 5;
+  Stats.set_max s "peak" 3;
+  check_int "keeps max" 5 (Stats.get s "peak");
+  Stats.set_max s "peak" 9;
+  check_int "raises max" 9 (Stats.get s "peak")
+
+let test_stats_reset () =
+  let s = Stats.create "t" in
+  Stats.add s "x" 3;
+  Stats.reset s;
+  check_int "cleared" 0 (Stats.get s "x")
+
+(* ---------------- Tablefmt ---------------- *)
+
+let test_tablefmt_render () =
+  let t =
+    Tablefmt.create ~title:"demo"
+      ~columns:[ ("name", Tablefmt.Left); ("value", Tablefmt.Right) ]
+  in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_separator t;
+  Tablefmt.add_row t [ "beta"; "22" ];
+  let out = Tablefmt.render t in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "contains %S" needle) true (contains out needle))
+    [ "demo"; "alpha"; "beta"; "22" ]
+
+let test_tablefmt_arity () =
+  let t =
+    Tablefmt.create ~title:"x"
+      ~columns:[ ("a", Tablefmt.Left); ("b", Tablefmt.Left) ]
+  in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Tablefmt.add_row: cell count mismatch") (fun () ->
+      Tablefmt.add_row t [ "only-one" ])
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int covers range" `Quick test_prng_int_covers_range;
+          Alcotest.test_case "int_in bounds" `Quick test_prng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_prng_shuffle_is_permutation;
+          Alcotest.test_case "split independence" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          qc prop_prng_nonnegative;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+          Alcotest.test_case "to_sorted_list" `Quick test_heap_to_sorted_list;
+          qc prop_heap_sorts;
+          qc prop_heap_interleaved;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "conversions" `Quick test_vec_conversions;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "range check" `Quick test_bitset_range_check;
+          Alcotest.test_case "copy/equal" `Quick test_bitset_copy_equal;
+          qc prop_bitset_model;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "observe/mean" `Quick test_stats_observe_mean;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "set_max" `Quick test_stats_set_max;
+          Alcotest.test_case "reset" `Quick test_stats_reset;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "render" `Quick test_tablefmt_render;
+          Alcotest.test_case "arity" `Quick test_tablefmt_arity;
+        ] );
+    ]
