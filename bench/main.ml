@@ -5,7 +5,9 @@
    Environment knobs (all optional):
      TT_BENCH_SCALE   data-set scale factor for the figures (default 0.5)
      TT_BENCH_NODES   simulated nodes for the figures    (default 32)
-     TT_BENCH_FAST    set to 1 to skip the full figure reproduction *)
+     TT_BENCH_FAST    set to 1 to skip the full figure reproduction
+     TT_BENCH_JSON    path: also write the micro-benchmark ns/run
+                      estimates as a JSON object to this file *)
 
 module H = Tt_harness
 open Bechamel
@@ -189,16 +191,19 @@ let bench_ablation_sharers_overflow =
          ignore (Tt_stache.Sharers.to_list s);
          Tt_stache.Sharers.clear s))
 
-(* Ablation: event-queue throughput (the simulator's hot path). *)
+(* Ablation: event-queue throughput (the simulator's hot path — the same
+   int-keyed heap the engine schedules on). *)
 let bench_ablation_event_queue =
+  let nop () = () in
   Test.make ~name:"ablation_event_queue"
     (Staged.stage (fun () ->
-         let h = Tt_util.Heap.create ~cmp:compare () in
+         let h = Tt_util.Intheap.create ~dummy:nop () in
          for i = 0 to 255 do
-           Tt_util.Heap.push h ((i * 7919) land 1023)
+           Tt_util.Intheap.push h ((i * 7919) land 1023) nop
          done;
-         while not (Tt_util.Heap.is_empty h) do
-           ignore (Tt_util.Heap.pop h)
+         while not (Tt_util.Intheap.is_empty h) do
+           let (_ : unit -> unit) = Tt_util.Intheap.pop_exn h in
+           ()
          done))
 
 let benchmarks =
@@ -207,12 +212,25 @@ let benchmarks =
     bench_ablation_sharers_pointers; bench_ablation_sharers_overflow;
     bench_ablation_event_queue ]
 
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  %S: %.1f%s\n" name est (if i < last then "," else ""))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "(wrote ns/run estimates to %s)\n%!" path
+
 let run_bechamel () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
   let instances = Instance.[ monotonic_clock ] in
   print_endline "== Bechamel micro-benchmarks (ns/run) ==";
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -225,10 +243,15 @@ let run_bechamel () =
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-40s %12.1f ns\n%!" name est
+          | Some [ est ] ->
+              collected := (name, est) :: !collected;
+              Printf.printf "  %-40s %12.1f ns\n%!" name est
           | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
         results)
-    benchmarks
+    benchmarks;
+  match Sys.getenv_opt "TT_BENCH_JSON" with
+  | Some path -> write_json path (List.rev !collected)
+  | None -> ()
 
 let () =
   print_endline "=== Tempest & Typhoon: benchmark harness ===";

@@ -1,12 +1,18 @@
 type state = Shared | Exclusive
 
-type line = { mutable tag : int; mutable st : state; mutable valid : bool }
+(* Lines live in flat parallel arrays rather than per-line records: [tags]
+   holds the block number and [meta] one byte per line (0 = invalid,
+   1 = Shared, 2 = Exclusive).  Line [w] of set [s] is slot [s * assoc + w].
+   Construction is three allocations regardless of geometry, and a set scan
+   touches adjacent bytes. *)
 
 type t = {
   label : string;
   nsets : int;
+  set_mask : int; (* nsets - 1 when nsets is a power of two, else -1 *)
   assoc : int;
-  sets : line array array;
+  tags : int array; (* nsets * assoc *)
+  meta : Bytes.t; (* nsets * assoc *)
   prng : Tt_util.Prng.t;
   mutable hit_count : int;
   mutable miss_count : int;
@@ -14,103 +20,138 @@ type t = {
   mutable evict_exclusive : int;
 }
 
+let m_invalid = '\000'
+
+let m_shared = '\001'
+
+let m_exclusive = '\002'
+
+let meta_of_state = function Shared -> m_shared | Exclusive -> m_exclusive
+
+let state_of_meta = function
+  | '\001' -> Shared
+  | '\002' -> Exclusive
+  | _ -> invalid_arg "Cache: invalid line"
+
 let create ?(name = "cache") ~size_bytes ~assoc ~prng () =
   let block = Tt_mem.Addr.block_size in
   if size_bytes <= 0 || assoc <= 0 || size_bytes mod (assoc * block) <> 0 then
     invalid_arg "Cache.create: size must be a positive multiple of assoc*32";
   let nsets = size_bytes / (assoc * block) in
-  let sets =
-    Array.init nsets (fun _ ->
-        Array.init assoc (fun _ -> { tag = 0; st = Shared; valid = false }))
-  in
-  { label = name; nsets; assoc; sets; prng; hit_count = 0; miss_count = 0;
-    evict_shared = 0; evict_exclusive = 0 }
+  let set_mask = if nsets land (nsets - 1) = 0 then nsets - 1 else -1 in
+  { label = name; nsets; set_mask; assoc;
+    tags = Array.make (nsets * assoc) 0;
+    meta = Bytes.make (nsets * assoc) m_invalid;
+    prng; hit_count = 0; miss_count = 0; evict_shared = 0; evict_exclusive = 0 }
 
 let sets t = t.nsets
 
 let name t = t.label
 
-let set_of t block = t.sets.(block mod t.nsets)
+let base_of t block =
+  (* the common power-of-two geometry indexes with a mask, not a division *)
+  let index =
+    if t.set_mask >= 0 then block land t.set_mask else block mod t.nsets
+  in
+  index * t.assoc
 
-let find_line t block =
-  let set = set_of t block in
+(* Slot of [block] if cached, else -1. *)
+let find_slot t block =
+  let base = base_of t block in
   let rec go i =
-    if i >= t.assoc then None
-    else if set.(i).valid && set.(i).tag = block then Some set.(i)
-    else go (i + 1)
+    if i >= t.assoc then -1
+    else
+      let slot = base + i in
+      if
+        Bytes.unsafe_get t.meta slot <> m_invalid
+        && Array.unsafe_get t.tags slot = block
+      then slot
+      else go (i + 1)
   in
   go 0
 
 let probe t ~block =
-  match find_line t block with Some l -> Some l.st | None -> None
+  let slot = find_slot t block in
+  if slot < 0 then None else Some (state_of_meta (Bytes.unsafe_get t.meta slot))
 
 let lookup t ~block =
-  match probe t ~block with
-  | Some _ as r ->
-      t.hit_count <- t.hit_count + 1;
-      r
-  | None ->
-      t.miss_count <- t.miss_count + 1;
-      None
+  let slot = find_slot t block in
+  if slot < 0 then begin
+    t.miss_count <- t.miss_count + 1;
+    None
+  end
+  else begin
+    t.hit_count <- t.hit_count + 1;
+    Some (state_of_meta (Bytes.unsafe_get t.meta slot))
+  end
 
 let insert t ~block ~state =
-  match find_line t block with
-  | Some l ->
-      l.st <- state;
-      None
-  | None ->
-      let set = set_of t block in
-      let slot =
-        let rec free i = if i >= t.assoc then None else if not set.(i).valid then Some i else free (i + 1) in
-        match free 0 with
-        | Some i -> i
-        | None -> Tt_util.Prng.int t.prng t.assoc
+  let slot = find_slot t block in
+  if slot >= 0 then begin
+    Bytes.unsafe_set t.meta slot (meta_of_state state);
+    None
+  end
+  else begin
+    let base = base_of t block in
+    let slot =
+      let rec free i =
+        if i >= t.assoc then -1
+        else if Bytes.unsafe_get t.meta (base + i) = m_invalid then base + i
+        else free (i + 1)
       in
-      let line = set.(slot) in
-      let evicted =
-        if line.valid then begin
-          (match line.st with
+      match free 0 with
+      | -1 -> base + Tt_util.Prng.int t.prng t.assoc
+      | s -> s
+    in
+    let evicted =
+      match Bytes.unsafe_get t.meta slot with
+      | '\000' -> None
+      | m ->
+          let st = state_of_meta m in
+          (match st with
           | Shared -> t.evict_shared <- t.evict_shared + 1
           | Exclusive -> t.evict_exclusive <- t.evict_exclusive + 1);
-          Some (line.tag, line.st)
-        end
-        else None
-      in
-      line.tag <- block;
-      line.st <- state;
-      line.valid <- true;
-      evicted
+          Some (Array.unsafe_get t.tags slot, st)
+    in
+    Array.unsafe_set t.tags slot block;
+    Bytes.unsafe_set t.meta slot (meta_of_state state);
+    evicted
+  end
 
 let set_state t ~block state =
-  match find_line t block with
-  | Some l -> l.st <- state
-  | None -> invalid_arg "Cache.set_state: block not cached"
+  let slot = find_slot t block in
+  if slot < 0 then invalid_arg "Cache.set_state: block not cached";
+  Bytes.unsafe_set t.meta slot (meta_of_state state)
 
 let invalidate t ~block =
-  match find_line t block with
-  | Some l ->
-      l.valid <- false;
-      true
-  | None -> false
+  let slot = find_slot t block in
+  if slot < 0 then false
+  else begin
+    Bytes.unsafe_set t.meta slot m_invalid;
+    true
+  end
 
 let downgrade t ~block =
-  match find_line t block with Some l -> l.st <- Shared | None -> ()
+  let slot = find_slot t block in
+  if slot >= 0 && Bytes.unsafe_get t.meta slot = m_exclusive then
+    Bytes.unsafe_set t.meta slot m_shared
 
 let iter t f =
-  Array.iter
-    (fun set ->
-      Array.iter (fun l -> if l.valid then f l.tag l.st) set)
-    t.sets
+  for slot = 0 to (t.nsets * t.assoc) - 1 do
+    match Bytes.unsafe_get t.meta slot with
+    | '\000' -> ()
+    | m -> f (Array.unsafe_get t.tags slot) (state_of_meta m)
+  done
 
 let flush_page t ~vpage =
   let lo = vpage * Tt_mem.Addr.blocks_per_page in
   let hi = lo + Tt_mem.Addr.blocks_per_page - 1 in
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun l -> if l.valid && l.tag >= lo && l.tag <= hi then l.valid <- false)
-        set)
-    t.sets
+  for slot = 0 to (t.nsets * t.assoc) - 1 do
+    if Bytes.unsafe_get t.meta slot <> m_invalid then begin
+      let tag = Array.unsafe_get t.tags slot in
+      if tag >= lo && tag <= hi then Bytes.unsafe_set t.meta slot m_invalid
+    end
+  done
 
 let occupancy t =
   let n = ref 0 in

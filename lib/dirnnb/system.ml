@@ -83,6 +83,15 @@ type node = {
   ctrl : Ctrl.t;
   dir : Directory.t;
   stats : Stats.t;
+  (* hot-path counters, pre-resolved from [stats] at create time *)
+  c_accesses : Stats.counter;
+  c_upgrades : Stats.counter;
+  c_local_misses : Stats.counter;
+  c_remote_misses : Stats.counter;
+  c_local_protocol_misses : Stats.counter;
+  c_invals_received : Stats.counter;
+  c_writebacks : Stats.counter;
+  c_recalls : Stats.counter;
   (* blocks with an outstanding miss: wake the CPU, passing the replacement
      cycles the fill incurred *)
   pending : (int, int -> unit) Hashtbl.t;
@@ -144,7 +153,7 @@ let send t ~src ~at ~dst ~vnet ~handler ~args ~with_data =
 (* Eviction of an exclusively-held line: hardware writeback to home. *)
 let writeback t node ~at block =
   dbg block "t=%d writeback from node=%d" at node.id;
-  Stats.incr node.stats "writebacks";
+  Stats.Counter.incr node.c_writebacks;
   Hashtbl.replace node.wb_inflight block
     (1 + Option.value ~default:0 (Hashtbl.find_opt node.wb_inflight block));
   let home = page_home t ~vpage:(block * Addr.block_size / Addr.page_size) in
@@ -287,7 +296,7 @@ let rec start_txn t home kind requester block =
       | Directory.Read -> (
           match entry.Directory.owner with
           | Some o when o <> requester ->
-              home.stats |> fun s -> Stats.incr s "recalls";
+              Stats.Counter.incr home.c_recalls;
               entry.Directory.busy <-
                 Some { Directory.kind; requester; acks_left = 1 };
               Ctrl.charge ctrl p.Params.dir_per_msg;
@@ -300,7 +309,7 @@ let rec start_txn t home kind requester block =
       | Directory.Read_ex -> (
           match entry.Directory.owner with
           | Some o when o <> requester ->
-              Stats.incr home.stats "recalls";
+              Stats.Counter.incr home.c_recalls;
               entry.Directory.busy <-
                 Some { Directory.kind; requester; acks_left = 1 };
               Ctrl.charge ctrl p.Params.dir_per_msg;
@@ -418,7 +427,7 @@ let ctrl_exec t node msg =
   end
   else if handler = h_recall then begin
     (* we are the (former) owner: flush our copy and answer home *)
-    Stats.incr node.stats "invals_received";
+    Stats.Counter.incr node.c_invals_received;
     let ex = args.(1) = 1 in
     let present = Cache.probe node.cache ~block <> None in
     Ctrl.charge ctrl
@@ -433,7 +442,7 @@ let ctrl_exec t node msg =
       ~with_data:present
   end
   else if handler = h_inval then begin
-    Stats.incr node.stats "invals_received";
+    Stats.Counter.incr node.c_invals_received;
     let present = Cache.probe node.cache ~block <> None in
     Ctrl.charge ctrl
       (p.Params.remote_inval + (if present then p.Params.repl_shared else 0));
@@ -505,6 +514,7 @@ let create engine (p : Params.t) =
   in
   let nodes =
     Array.init p.Params.nodes (fun id ->
+        let stats = Stats.create (Printf.sprintf "node%d" id) in
         {
           id;
           mem = Pagemem.create ~node:id ();
@@ -518,7 +528,15 @@ let create engine (p : Params.t) =
               ~prng:(Tt_util.Prng.split prng) ();
           ctrl = Ctrl.create engine;
           dir = Directory.create ~nodes:p.Params.nodes;
-          stats = Stats.create (Printf.sprintf "node%d" id);
+          stats;
+          c_accesses = Stats.counter stats "accesses";
+          c_upgrades = Stats.counter stats "upgrades";
+          c_local_misses = Stats.counter stats "local_misses";
+          c_remote_misses = Stats.counter stats "remote_misses";
+          c_local_protocol_misses = Stats.counter stats "local_protocol_misses";
+          c_invals_received = Stats.counter stats "invals_received";
+          c_writebacks = Stats.counter stats "writebacks";
+          c_recalls = Stats.counter stats "recalls";
           pending = Hashtbl.create 4;
           wb_inflight = Hashtbl.create 4;
         })
@@ -587,11 +605,11 @@ let fill_after_miss t node th block state =
 let miss_via_directory t node th ~home ~handler block =
   let local = home = node.id in
   if local then begin
-    Stats.incr node.stats "local_protocol_misses";
+    Stats.Counter.incr node.c_local_protocol_misses;
     Thread.advance th 5
   end
   else begin
-    Stats.incr node.stats "remote_misses";
+    Stats.Counter.incr node.c_remote_misses;
     Thread.advance th t.params.Params.remote_miss_base
   end;
   let msg =
@@ -613,7 +631,7 @@ let miss_via_directory t node th ~home ~handler block =
 
 let cpu_access t ~node th access vaddr =
   let n = t.nodes.(node) in
-  Stats.incr n.stats "accesses";
+  Stats.Counter.incr n.c_accesses;
   Thread.maybe_yield th;
   Thread.advance th 1;
   let vpage = Addr.page_of vaddr in
@@ -630,7 +648,7 @@ let cpu_access t ~node th access vaddr =
   | Some Cache.Shared when access = Tag.Load -> ()
   | Some Cache.Shared ->
       (* upgrade *)
-      Stats.incr n.stats "upgrades";
+      Stats.Counter.incr n.c_upgrades;
       let entry = Directory.entry home.dir ~block in
       let others =
         List.filter (fun s -> s <> node) (Bitset.to_list entry.Directory.sharers)
@@ -658,7 +676,7 @@ let cpu_access t ~node th access vaddr =
           in
           if local && entry_free entry && not conflict then begin
             dbg block "t=%d cpu%d fastpath-load" (Thread.clock th) node;
-            Stats.incr n.stats "local_misses";
+            Stats.Counter.incr n.c_local_misses;
             Thread.advance th t.params.Params.local_miss;
             let others =
               List.filter (fun s -> s <> node)
@@ -693,7 +711,7 @@ let cpu_access t ~node th access vaddr =
           in
           if local && entry_free entry && not conflict then begin
             dbg block "t=%d cpu%d fastpath-store" (Thread.clock th) node;
-            Stats.incr n.stats "local_misses";
+            Stats.Counter.incr n.c_local_misses;
             Thread.advance th t.params.Params.local_miss;
             entry.Directory.owner <- Some node;
             clear_sharers entry;

@@ -14,10 +14,21 @@ type t = {
   node_id : int;
   capacity : int option;
   pages : (int, page) Hashtbl.t;
+  (* 1-entry MRU translation cache: memory access streams are heavily
+     same-page, so the common case skips the Hashtbl entirely.  [mru_vpage]
+     is a sentinel (-1) when invalid; [mru_page] then points at a shared
+     dummy page that no vpage can reach. *)
+  mutable mru_vpage : int;
+  mutable mru_page : page;
 }
 
+let dummy_page =
+  { data = Bytes.empty; tags = Bytes.empty; mode = -1; home = -1;
+    user = No_info }
+
 let create ?max_pages ~node () =
-  { node_id = node; capacity = max_pages; pages = Hashtbl.create 256 }
+  { node_id = node; capacity = max_pages; pages = Hashtbl.create 256;
+    mru_vpage = -1; mru_page = dummy_page }
 
 let node t = t.node_id
 
@@ -25,17 +36,31 @@ let page_count t = Hashtbl.length t.pages
 
 let max_pages t = t.capacity
 
-let is_mapped t ~vpage = Hashtbl.mem t.pages vpage
+let is_mapped t ~vpage =
+  vpage = t.mru_vpage || Hashtbl.mem t.pages vpage
 
-let find_page t ~vpage = Hashtbl.find_opt t.pages vpage
+let find_page t ~vpage =
+  if vpage = t.mru_vpage then Some t.mru_page
+  else
+    match Hashtbl.find_opt t.pages vpage with
+    | Some p as r ->
+        t.mru_vpage <- vpage;
+        t.mru_page <- p;
+        r
+    | None -> None
 
 let get_page t ~vpage =
-  match find_page t ~vpage with
-  | Some p -> p
-  | None ->
-      invalid_arg
-        (Printf.sprintf "Pagemem: node %d, vpage 0x%x is not mapped" t.node_id
-           vpage)
+  if vpage = t.mru_vpage then t.mru_page
+  else
+    match Hashtbl.find_opt t.pages vpage with
+    | Some p ->
+        t.mru_vpage <- vpage;
+        t.mru_page <- p;
+        p
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Pagemem: node %d, vpage 0x%x is not mapped"
+             t.node_id vpage)
 
 let set_all_tags page tag =
   Bytes.fill page.tags 0 (Bytes.length page.tags) (Char.chr (Tag.to_bits tag))
@@ -58,6 +83,9 @@ let map t ~vpage ~home ~mode ~init_tag =
   in
   set_all_tags page init_tag;
   Hashtbl.replace t.pages vpage page;
+  (* a freshly mapped page is about to be accessed: warm the MRU slot *)
+  t.mru_vpage <- vpage;
+  t.mru_page <- page;
   page
 
 let unmap t ~vpage =
@@ -65,6 +93,10 @@ let unmap t ~vpage =
     invalid_arg
       (Printf.sprintf "Pagemem.unmap: node %d, vpage 0x%x not mapped" t.node_id
          vpage);
+  if vpage = t.mru_vpage then begin
+    t.mru_vpage <- -1;
+    t.mru_page <- dummy_page
+  end;
   Hashtbl.remove t.pages vpage
 
 let iter_pages t f = Hashtbl.iter f t.pages
@@ -114,12 +146,22 @@ let read_block t ~vaddr =
   let page = page_of_addr t base in
   Bytes.sub page.data (Addr.page_offset base) Addr.block_size
 
+let read_block_into t ~vaddr ~dst ~dst_pos =
+  let base = Addr.block_base vaddr in
+  let page = page_of_addr t base in
+  Bytes.blit page.data (Addr.page_offset base) dst dst_pos Addr.block_size
+
 let write_block t ~vaddr src =
   if Bytes.length src <> Addr.block_size then
     invalid_arg "Pagemem.write_block: block must be 32 bytes";
   let base = Addr.block_base vaddr in
   let page = page_of_addr t base in
   Bytes.blit src 0 page.data (Addr.page_offset base) Addr.block_size
+
+let write_block_from t ~vaddr ~src ~src_pos =
+  let base = Addr.block_base vaddr in
+  let page = page_of_addr t base in
+  Bytes.blit src src_pos page.data (Addr.page_offset base) Addr.block_size
 
 let read_bytes t ~vaddr ~len =
   let out = Bytes.create len in

@@ -11,7 +11,11 @@
     *physical* page; because every node maps a virtual page to at most one
     frame at a time, indexing by virtual page is behaviourally identical, so
     we key everything by virtual page and dispense with explicit frames.  A
-    page-count ceiling stands in for physical-memory capacity. *)
+    page-count ceiling stands in for physical-memory capacity.
+
+    Lookups go through a 1-entry MRU translation cache (invalidated on
+    {!unmap}): same-page access streaks — the overwhelmingly common case —
+    skip the page table entirely. *)
 
 type user_info = ..
 (** Protocols extend this with their per-page state (e.g. Stache home-page
@@ -89,8 +93,16 @@ val write_u8 : t -> vaddr:int -> int -> unit
 val read_block : t -> vaddr:int -> Bytes.t
 (** Fresh 32-byte copy of the block containing [vaddr]. *)
 
+val read_block_into : t -> vaddr:int -> dst:Bytes.t -> dst_pos:int -> unit
+(** Copy the block containing [vaddr] into [dst] at [dst_pos] without
+    allocating. *)
+
 val write_block : t -> vaddr:int -> Bytes.t -> unit
 (** Store 32 bytes at the block containing [vaddr]. *)
+
+val write_block_from : t -> vaddr:int -> src:Bytes.t -> src_pos:int -> unit
+(** Store the 32 bytes at [src_pos] of [src] into the block containing
+    [vaddr] without allocating. *)
 
 val read_bytes : t -> vaddr:int -> len:int -> Bytes.t
 (** Copy an arbitrary byte range; must not cross an unmapped page. *)

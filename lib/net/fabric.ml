@@ -1,3 +1,5 @@
+module Stats = Tt_util.Stats
+
 type t = {
   engine : Tt_sim.Engine.t;
   node_count : int;
@@ -6,7 +8,14 @@ type t = {
   words_per_cycle : int option;
   port_free : int array; (* contention model: next free time per dst port *)
   receivers : (Message.t -> unit) option array;
-  counters : Tt_util.Stats.t;
+  counters : Stats.t;
+  (* per-message counters, pre-resolved so [send] never builds key strings *)
+  c_msgs_request : Stats.counter;
+  c_msgs_response : Stats.counter;
+  c_words_request : Stats.counter;
+  c_words_response : Stats.counter;
+  c_msgs_local : Stats.counter;
+  c_port_wait : Stats.counter;
 }
 
 let create engine ~nodes ~latency ?(local_latency = 1) ?words_per_cycle () =
@@ -14,10 +23,17 @@ let create engine ~nodes ~latency ?(local_latency = 1) ?words_per_cycle () =
   (match words_per_cycle with
   | Some w when w <= 0 -> invalid_arg "Fabric.create: bad bandwidth"
   | Some _ | None -> ());
+  let counters = Stats.create "network" in
   { engine; node_count = nodes; net_latency = latency; local_latency;
     words_per_cycle; port_free = Array.make nodes 0;
     receivers = Array.make nodes None;
-    counters = Tt_util.Stats.create "network" }
+    counters;
+    c_msgs_request = Stats.counter counters "msgs.request";
+    c_msgs_response = Stats.counter counters "msgs.response";
+    c_words_request = Stats.counter counters "words.request";
+    c_words_response = Stats.counter counters "words.response";
+    c_msgs_local = Stats.counter counters "msgs.local";
+    c_port_wait = Stats.counter counters "port_wait_cycles" }
 
 let nodes t = t.node_count
 
@@ -32,12 +48,16 @@ let set_receiver t ~node f =
 let send t ~at msg =
   if msg.Message.dst < 0 || msg.Message.dst >= t.node_count then
     invalid_arg "Fabric.send: bad destination";
-  let vnet = Message.vnet_to_string msg.Message.vnet in
-  Tt_util.Stats.incr t.counters ("msgs." ^ vnet);
-  Tt_util.Stats.add t.counters ("words." ^ vnet) (Message.words msg);
+  (match msg.Message.vnet with
+  | Message.Request ->
+      Stats.Counter.incr t.c_msgs_request;
+      Stats.Counter.add t.c_words_request (Message.words msg)
+  | Message.Response ->
+      Stats.Counter.incr t.c_msgs_response;
+      Stats.Counter.add t.c_words_response (Message.words msg));
   let lat =
     if msg.Message.src = msg.Message.dst then begin
-      Tt_util.Stats.incr t.counters "msgs.local";
+      Stats.Counter.incr t.c_msgs_local;
       t.local_latency
     end
     else t.net_latency
@@ -58,8 +78,7 @@ let send t ~at msg =
         in
         t.port_free.(msg.Message.dst) <- arrive + occupancy;
         let waited = (depart - at) + (arrive - (depart + lat)) in
-        if waited > 0 then
-          Tt_util.Stats.add t.counters "port_wait_cycles" waited;
+        if waited > 0 then Stats.Counter.add t.c_port_wait waited;
         arrive + occupancy
   in
   Tt_sim.Engine.at t.engine deliver_at (fun () ->

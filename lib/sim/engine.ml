@@ -1,48 +1,90 @@
-type event = { time : int; seq : int; fn : unit -> unit }
+(* The event queue packs each event's (time, seq) priority into one
+   immediate int — [time lsl seq_bits lor seq] — so the heap compares plain
+   ints and stores the callback directly: no per-event record, no comparator
+   closure.  See DESIGN.md "Performance" for the bit budget.
+
+   [seq] breaks ties FIFO among events that coexist at equal times.  It
+   resets to 0 whenever the queue drains (FIFO order only matters among
+   coexisting events), and in the rare case that [seq_limit] events are
+   scheduled without the queue ever draining, the live queue is renumbered
+   in place ([rebase]), preserving order. *)
+
+let seq_bits = 20
+
+let seq_limit = 1 lsl seq_bits
+
+let max_time = max_int asr seq_bits
 
 type t = {
-  events : event Tt_util.Heap.t;
+  events : (unit -> unit) Tt_util.Intheap.t;
   mutable now : int;
   mutable seq : int;
 }
 
-let compare_event a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+let nop () = ()
 
 let create () =
-  { events = Tt_util.Heap.create ~cmp:compare_event (); now = 0; seq = 0 }
+  { events = Tt_util.Intheap.create ~capacity:256 ~dummy:nop (); now = 0;
+    seq = 0 }
 
 let now t = t.now
+
+let pending t = Tt_util.Intheap.length t.events
+
+(* Renumber queued events with consecutive seqs starting from 0.  Draining
+   the heap yields ascending (time, seq) order, so reassigning seq by drain
+   position preserves the relative order exactly. *)
+let rebase t =
+  let n = Tt_util.Intheap.length t.events in
+  let keys = Array.make n 0 and fns = Array.make n nop in
+  for i = 0 to n - 1 do
+    keys.(i) <- Tt_util.Intheap.min_key t.events;
+    fns.(i) <- Tt_util.Intheap.pop_exn t.events
+  done;
+  for i = 0 to n - 1 do
+    Tt_util.Intheap.push t.events
+      (((keys.(i) asr seq_bits) lsl seq_bits) lor i)
+      fns.(i)
+  done;
+  t.seq <- n
 
 let at t time fn =
   if time < t.now then
     invalid_arg
-      (Printf.sprintf "Engine.at: scheduling at %d which is before now=%d" time t.now);
-  Tt_util.Heap.push t.events { time; seq = t.seq; fn };
+      (Printf.sprintf "Engine.at: scheduling at %d which is before now=%d" time
+         t.now);
+  if time > max_time then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %d exceeds the %d-bit budget" time
+         (Sys.int_size - 1 - seq_bits));
+  if t.seq >= seq_limit then rebase t;
+  Tt_util.Intheap.push t.events ((time lsl seq_bits) lor t.seq) fn;
   t.seq <- t.seq + 1
 
 let after t delay fn = at t (t.now + delay) fn
 
-let pending t = Tt_util.Heap.length t.events
-
 let step t =
-  match Tt_util.Heap.pop t.events with
-  | None -> false
-  | Some ev ->
-      t.now <- ev.time;
-      ev.fn ();
-      true
+  if Tt_util.Intheap.is_empty t.events then false
+  else begin
+    t.now <- Tt_util.Intheap.min_key t.events asr seq_bits;
+    let fn = Tt_util.Intheap.pop_exn t.events in
+    (* FIFO order only matters among coexisting events: restart the tie
+       counter whenever the queue drains so it can never overflow in
+       steady-state workloads. *)
+    if Tt_util.Intheap.is_empty t.events then t.seq <- 0;
+    fn ();
+    true
+  end
 
 let run t = while step t do () done
 
 let run_until t ~limit =
   let rec go () =
-    match Tt_util.Heap.peek t.events with
-    | None -> true
-    | Some ev when ev.time > limit -> false
-    | Some _ ->
-        ignore (step t);
-        go ()
+    if Tt_util.Intheap.is_empty t.events then true
+    else if Tt_util.Intheap.min_key t.events asr seq_bits > limit then false
+    else begin
+      ignore (step t);
+      go ()
+    end
   in
   go ()

@@ -5,7 +5,13 @@
     deterministic.  This is our stand-in for the Wisconsin Wind Tunnel's
     quantum-synchronized direct execution: simulated processors (see
     {!Thread}) insert themselves here whenever they interact with shared
-    state. *)
+    state.
+
+    The queue is a monomorphic int-keyed heap ({!Tt_util.Intheap}) over a
+    packed [(time, seq)] priority — [time lsl 20 lor seq] — so scheduling
+    and stepping allocate nothing beyond the caller's callback closure.
+    Times are limited to [max_int asr 20] cycles (~4.4e12 on 64-bit);
+    {!at} raises past that. *)
 
 type t
 

@@ -50,6 +50,19 @@ type t = {
   node_states : node_state array;
   max_stache_pages : int option;
   counters : Stats.t;
+  (* hot-path counters, pre-resolved from [counters] at install time so the
+     protocol handlers never hash key strings per message *)
+  c_inval : Stats.counter;
+  c_recall : Stats.counter;
+  c_forwarded : Stats.counter;
+  c_get_ro : Stats.counter;
+  c_get_rw : Stats.counter;
+  c_upgrade : Stats.counter;
+  c_prefetch_completed : Stats.counter;
+  c_prefetch_issued : Stats.counter;
+  c_home_faults : Stats.counter;
+  c_writeback : Stats.counter;
+  c_page_replacements : Stats.counter;
   mutable alloc_cursor : int;
   mutable next_home : int; (* round-robin cursor *)
   (* message handler ids, assigned at install *)
@@ -193,7 +206,7 @@ let rec serve t (ep : Tempest.t) ~vaddr (bd : Dir.block_dir) client =
               { Dir.client; acks_left = List.length targets; prev_owner = None };
           List.iter
             (fun s ->
-              Stats.incr t.counters "inval";
+              Stats.Counter.incr t.c_inval;
               ep.Tempest.charge c_inval_extra;
               ep.Tempest.send ~dst:s ~vnet:Message.Request ~handler:t.h_inval
                 ~args:[| vaddr |] ())
@@ -206,7 +219,7 @@ let rec serve t (ep : Tempest.t) ~vaddr (bd : Dir.block_dir) client =
           | Dir.Remote (_, (`Rw | `Up)) | Dir.Home (_, Tag.Store) -> true
           | Dir.Remote (_, `Ro) | Dir.Home (_, Tag.Load) -> false
         in
-        Stats.incr t.counters "recall";
+        Stats.Counter.incr t.c_recall;
         bd.Dir.pending <- Some { Dir.client; acks_left = 1; prev_owner = Some o };
         ep.Tempest.charge c_recall_extra;
         ep.Tempest.send ~dst:o ~vnet:Message.Request ~handler:t.h_recall
@@ -241,14 +254,14 @@ let on_get t (ep : Tempest.t) ~src ~args ~data:_ =
   let requester = if Array.length args > 2 then args.(2) else src in
   let current_home = home_of t ~vaddr in
   if current_home <> ep.Tempest.node then begin
-    Stats.incr t.counters "forwarded";
+    Stats.Counter.incr t.c_forwarded;
     ep.Tempest.charge 4;
     ep.Tempest.send ~dst:current_home ~vnet:Message.Request ~handler:t.h_get
       ~args:[| vaddr; args.(1); requester |] ()
   end
   else begin
-    Stats.incr t.counters
-      (match kind with `Ro -> "get_ro" | `Rw -> "get_rw" | `Up -> "upgrade");
+    Stats.Counter.incr
+      (match kind with `Ro -> t.c_get_ro | `Rw -> t.c_get_rw | `Up -> t.c_upgrade);
     let bd = Dir.block_of ep ~vaddr in
     serve t ep ~vaddr bd (Dir.Remote (requester, kind))
   end
@@ -266,11 +279,12 @@ let on_data t (ep : Tempest.t) ~src:_ ~args ~data =
   | Some pending ->
       Hashtbl.remove ns.pending_remote vaddr;
       ep.Tempest.force_write_block ~vaddr data;
+      ep.Tempest.recycle_block data;
       (if rw then ep.Tempest.set_rw ~vaddr else ep.Tempest.set_ro ~vaddr);
       ep.Tempest.charge c_arrival_extra;
       (match pending with
       | Some resumption -> ep.Tempest.resume resumption
-      | None -> Stats.incr t.counters "prefetch_completed")
+      | None -> Stats.Counter.incr t.c_prefetch_completed)
 
 (* requester <- home: upgrade granted without data *)
 let on_upgrade_ok t (ep : Tempest.t) ~src:_ ~args ~data:_ =
@@ -288,7 +302,7 @@ let on_upgrade_ok t (ep : Tempest.t) ~src:_ ~args ~data:_ =
       ep.Tempest.charge c_arrival_extra;
       (match pending with
       | Some resumption -> ep.Tempest.resume resumption
-      | None -> Stats.incr t.counters "prefetch_completed")
+      | None -> Stats.Counter.incr t.c_prefetch_completed)
 
 (* sharer <- home: drop your read-only copy *)
 let on_inval t (ep : Tempest.t) ~src ~args ~data:_ =
@@ -345,7 +359,10 @@ let on_recall_data t (ep : Tempest.t) ~src ~args ~data =
   let bd = Dir.block_of ep ~vaddr in
   touch_dir ep ~vaddr;
   ep.Tempest.charge c_ack_extra;
-  if present then ep.Tempest.force_write_block ~vaddr data;
+  if present then begin
+    ep.Tempest.force_write_block ~vaddr data;
+    ep.Tempest.recycle_block data
+  end;
   match bd.Dir.pending with
   | None -> ()
   | Some pending ->
@@ -383,17 +400,19 @@ let on_writeback t (ep : Tempest.t) ~src ~args ~data =
   let src = if Array.length args > 1 then args.(1) else src in
   let current_home = home_of t ~vaddr in
   if current_home <> ep.Tempest.node then begin
-    Stats.incr t.counters "forwarded";
+    Stats.Counter.incr t.c_forwarded;
     ep.Tempest.charge 4;
+    (* NB: no recycle here — [data] is forwarded in the new message *)
     ep.Tempest.send ~dst:current_home ~vnet:Message.Request
       ~handler:t.h_writeback ~args:[| vaddr; src |] ~data ()
   end
   else begin
-  Stats.incr t.counters "writeback";
+  Stats.Counter.incr t.c_writeback;
   let bd = Dir.block_of ep ~vaddr in
   touch_dir ep ~vaddr;
   ep.Tempest.charge c_writeback_extra;
   ep.Tempest.force_write_block ~vaddr data;
+  ep.Tempest.recycle_block data;
   match bd.Dir.state with
   | Dir.Remote_excl o when o = src ->
       bd.Dir.state <- Dir.Idle;
@@ -442,7 +461,7 @@ let remote_block_fault t (ep : Tempest.t) (fault : Tempest.fault) =
 
 (* Block fault on a home page: operate on the directory directly (§3). *)
 let home_block_fault t (ep : Tempest.t) (fault : Tempest.fault) =
-  Stats.incr t.counters "home_faults";
+  Stats.Counter.incr t.c_home_faults;
   let vaddr = Addr.block_base fault.Tempest.fault_vaddr in
   let bd = Dir.block_of ep ~vaddr in
   ep.Tempest.charge c_req_extra;
@@ -451,7 +470,7 @@ let home_block_fault t (ep : Tempest.t) (fault : Tempest.fault) =
 
 (* Flush one stached page back to its home and unmap it (FIFO victim). *)
 let replace_page t (ep : Tempest.t) ~vpage =
-  Stats.incr t.counters "page_replacements";
+  Stats.Counter.incr t.c_page_replacements;
   let base = vpage * Addr.page_size in
   for index = 0 to Addr.blocks_per_page - 1 do
     let vaddr = base + (index * Addr.block_size) in
@@ -522,6 +541,7 @@ let page_fault t (ep : Tempest.t) ~vaddr (_ : Tag.access) resumption =
 (* ------------------------------------------------------------------ *)
 
 let install sys ?max_stache_pages () =
+  let counters = Stats.create "stache" in
   let t =
     {
       sys;
@@ -532,7 +552,18 @@ let install sys ?max_stache_pages () =
               local_homes = Hashtbl.create 256;
               stache_fifo = Queue.create () });
       max_stache_pages;
-      counters = Stats.create "stache";
+      counters;
+      c_inval = Stats.counter counters "inval";
+      c_recall = Stats.counter counters "recall";
+      c_forwarded = Stats.counter counters "forwarded";
+      c_get_ro = Stats.counter counters "get_ro";
+      c_get_rw = Stats.counter counters "get_rw";
+      c_upgrade = Stats.counter counters "upgrade";
+      c_prefetch_completed = Stats.counter counters "prefetch_completed";
+      c_prefetch_issued = Stats.counter counters "prefetch_issued";
+      c_home_faults = Stats.counter counters "home_faults";
+      c_writeback = Stats.counter counters "writeback";
+      c_page_replacements = Stats.counter counters "page_replacements";
       alloc_cursor = heap_base;
       next_home = 0;
       h_get = -1; h_data = -1; h_upgrade_ok = -1; h_inval = -1;
@@ -618,7 +649,7 @@ let prefetch t ~th ~node ~vaddr kind =
         && not (Hashtbl.mem ns.pending_remote vaddr)
       in
       if eligible then begin
-        Stats.incr t.counters "prefetch_issued";
+        Stats.Counter.incr t.c_prefetch_issued;
         let ep = System.endpoint t.sys node in
         ep.Tempest.set_busy ~vaddr;
         Hashtbl.replace ns.pending_remote vaddr None;

@@ -41,6 +41,7 @@ type t = {
   downgrade : vaddr:int -> unit;
   force_read_block : vaddr:int -> Bytes.t;
   force_write_block : vaddr:int -> Bytes.t -> unit;
+  recycle_block : Bytes.t -> unit;
   force_read_i64 : vaddr:int -> int64;
   force_write_i64 : vaddr:int -> int64 -> unit;
   force_read_f64 : vaddr:int -> float;

@@ -86,6 +86,11 @@ type t = {
   force_read_block : vaddr:int -> Bytes.t;
       (** 32-byte load without tag check *)
   force_write_block : vaddr:int -> Bytes.t -> unit;
+  recycle_block : Bytes.t -> unit;
+      (** hand a consumed 32-byte message buffer back to the endpoint's
+          block-buffer pool so a later [force_read_block] can reuse it.
+          Only call this when the handler is done with the buffer AND the
+          buffer is not being forwarded in another message. *)
   force_read_i64 : vaddr:int -> int64;
   force_write_i64 : vaddr:int -> int64 -> unit;
   force_read_f64 : vaddr:int -> float;

@@ -19,9 +19,21 @@ type node = {
   cache : Cache.t;
   np : Np.t;
   stats : Stats.t;
+  (* hot-path counters, pre-resolved from [stats] at create time *)
+  c_accesses : Stats.counter;
+  c_upgrades : Stats.counter;
+  c_local_misses : Stats.counter;
+  c_block_faults : Stats.counter;
+  c_page_faults : Stats.counter;
+  (* free list of 32-byte block buffers recycled from consumed messages so
+     [force_read_block] does not allocate per block transfer *)
+  mutable block_pool : Bytes.t list;
+  mutable block_pool_len : int;
   mutable ctx : executor;
   mutable endpoint : Tempest.t option;
 }
+
+let block_pool_cap = 64
 
 type t = {
   engine : Engine.t;
@@ -180,7 +192,16 @@ let make_endpoint t node =
       (fun ~vaddr ->
         rtlb_access node vaddr;
         charge node Costs.force_block;
-        Pagemem.read_block node.mem ~vaddr);
+        let buf =
+          match node.block_pool with
+          | b :: rest ->
+              node.block_pool <- rest;
+              node.block_pool_len <- node.block_pool_len - 1;
+              b
+          | [] -> Bytes.create Addr.block_size
+        in
+        Pagemem.read_block_into node.mem ~vaddr ~dst:buf ~dst_pos:0;
+        buf);
     force_write_block =
       (fun ~vaddr data ->
         rtlb_access node vaddr;
@@ -189,6 +210,15 @@ let make_endpoint t node =
            a forced write invalidates any stale CPU-cached copy *)
         ignore (Cache.invalidate node.cache ~block:(Addr.block_of vaddr));
         Pagemem.write_block node.mem ~vaddr data);
+    recycle_block =
+      (fun b ->
+        if
+          Bytes.length b = Addr.block_size
+          && node.block_pool_len < block_pool_cap
+        then begin
+          node.block_pool <- b :: node.block_pool;
+          node.block_pool_len <- node.block_pool_len + 1
+        end);
     force_read_i64 =
       (fun ~vaddr ->
         rtlb_access node vaddr;
@@ -228,7 +258,7 @@ let np_exec t node work =
       handler ep ~src:msg.Message.src ~args:msg.Message.args
         ~data:msg.Message.data
   | Np.Block_fault fault ->
-      Stats.incr node.stats "block_faults";
+      Stats.Counter.incr node.c_block_faults;
       (match
          Tempest.Handlers.block_fault t.tables ~mode:fault.Tempest.fault_mode
        with
@@ -240,7 +270,7 @@ let np_exec t node work =
                 handler registered"
                fault.Tempest.fault_vaddr node.id fault.Tempest.fault_mode))
   | Np.Page_fault { vaddr; access; resumption } ->
-      Stats.incr node.stats "page_faults";
+      Stats.Counter.incr node.c_page_faults;
       (match Tempest.Handlers.page_fault t.tables with
       | Some handler -> handler ep ~vaddr access resumption
       | None ->
@@ -270,6 +300,7 @@ let create engine (p : Params.t) =
             ~size_bytes:p.Params.np_dcache_bytes ~assoc:p.Params.np_dcache_assoc
             ~prng:(Tt_util.Prng.split prng) ()
         in
+        let stats = Stats.create (Printf.sprintf "node%d" id) in
         {
           id;
           mem = Pagemem.create ?max_pages:None ~node:id ();
@@ -281,7 +312,14 @@ let create engine (p : Params.t) =
               ~size_bytes:p.Params.cpu_cache_bytes ~assoc:p.Params.cpu_cache_assoc
               ~prng:(Tt_util.Prng.split prng) ();
           np = Np.create engine ~rtlb ~dcache ();
-          stats = Stats.create (Printf.sprintf "node%d" id);
+          stats;
+          c_accesses = Stats.counter stats "accesses";
+          c_upgrades = Stats.counter stats "upgrades";
+          c_local_misses = Stats.counter stats "local_misses";
+          c_block_faults = Stats.counter stats "block_faults";
+          c_page_faults = Stats.counter stats "page_faults";
+          block_pool = [];
+          block_pool_len = 0;
           ctx = Np_ctx;
           endpoint = None;
         })
@@ -352,7 +390,7 @@ let suspend_on_fault node th post_fault =
 
 let rec cpu_access t ~node th access vaddr =
   let n = node_of t node in
-  Stats.incr n.stats "accesses";
+  Stats.Counter.incr n.c_accesses;
   Thread.maybe_yield th;
   Thread.advance th 1;
   let vpage = Addr.page_of vaddr in
@@ -394,7 +432,7 @@ let rec cpu_access t ~node th access vaddr =
              snooped against the tag *)
           let tag = Pagemem.get_tag n.mem ~vaddr in
           if Tag.permits tag Tag.Store then begin
-            Stats.incr n.stats "upgrades";
+            Stats.Counter.incr n.c_upgrades;
             Thread.advance th t.params.Params.upgrade;
             Cache.set_state n.cache ~block Tt_cache.Cache.Exclusive
           end
@@ -403,7 +441,7 @@ let rec cpu_access t ~node th access vaddr =
           (* miss: bus Read / Read-invalidate transaction *)
           let tag = Pagemem.get_tag n.mem ~vaddr in
           if Tag.permits tag access then begin
-            Stats.incr n.stats "local_misses";
+            Stats.Counter.incr n.c_local_misses;
             Thread.advance th t.params.Params.local_miss;
             (* the NP asserts "shared" for ReadOnly blocks so the CPU cannot
                own its copy *)

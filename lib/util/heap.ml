@@ -2,13 +2,14 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;  (* valid in [0, size) *)
   mutable size : int;
+  capacity : int;  (* initial allocation, applied on first push *)
 }
 
 let create ?(capacity = 64) ~cmp () =
+  if capacity <= 0 then invalid_arg "Heap.create: capacity must be positive";
   (* The backing array is allocated lazily on first push because we have no
      element to fill a preallocated array with. *)
-  ignore capacity;
-  { cmp; data = [||]; size = 0 }
+  { cmp; data = [||]; size = 0; capacity }
 
 let length t = t.size
 
@@ -17,7 +18,7 @@ let is_empty t = t.size = 0
 let grow t x =
   let cap = Array.length t.data in
   if t.size = cap then begin
-    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ncap = if cap = 0 then t.capacity else cap * 2 in
     let nd = Array.make ncap x in
     Array.blit t.data 0 nd 0 t.size;
     t.data <- nd
@@ -73,7 +74,10 @@ let clear t =
   t.data <- [||]
 
 let to_sorted_list t =
-  let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size } in
+  let copy =
+    { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size;
+      capacity = t.capacity }
+  in
   let rec drain acc =
     match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
   in

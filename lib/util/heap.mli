@@ -1,13 +1,16 @@
 (** Resizable binary min-heap.
 
-    The simulator's event queue is the hot path of every experiment, so this
-    is a plain array-backed heap with no per-node allocation beyond the
-    stored elements. *)
+    A plain array-backed heap with no per-node allocation beyond the stored
+    elements.  (The simulator's event queue uses the specialized int-keyed
+    {!Intheap}; this generic variant serves everything else.) *)
 
 type 'a t
 
 val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
-(** [create ~cmp ()] builds an empty heap ordered by [cmp] (minimum first). *)
+(** [create ~cmp ()] builds an empty heap ordered by [cmp] (minimum first).
+    [capacity] (default 64) sizes the initial backing array, allocated on
+    the first push.
+    @raise Invalid_argument if [capacity <= 0]. *)
 
 val length : 'a t -> int
 

@@ -1,0 +1,85 @@
+type 'a t = {
+  dummy : 'a;
+  mutable keys : int array;  (* valid in [0, size) *)
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 256) ~dummy () =
+  let cap = max capacity 1 in
+  { dummy; keys = Array.make cap 0; data = Array.make cap dummy; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t =
+  let cap = Array.length t.keys in
+  let ncap = cap * 2 in
+  let nkeys = Array.make ncap 0 and ndata = Array.make ncap t.dummy in
+  Array.blit t.keys 0 nkeys 0 t.size;
+  Array.blit t.data 0 ndata 0 t.size;
+  t.keys <- nkeys;
+  t.data <- ndata
+
+(* Hole-based sifting: carry the inserted (key, value) in locals and move
+   only the displaced slots, i.e. one array write per level instead of a
+   three-write swap. *)
+let push t key v =
+  if t.size = Array.length t.keys then grow t;
+  let keys = t.keys and data = t.data in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if Array.unsafe_get keys parent > key then begin
+      Array.unsafe_set keys !i (Array.unsafe_get keys parent);
+      Array.unsafe_set data !i (Array.unsafe_get data parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set data !i v
+
+let min_key t =
+  if t.size = 0 then invalid_arg "Intheap.min_key: empty heap";
+  Array.unsafe_get t.keys 0
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Intheap.pop_exn: empty heap";
+  let keys = t.keys and data = t.data in
+  let top = Array.unsafe_get data 0 in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n = 0 then Array.unsafe_set data 0 t.dummy
+  else begin
+    let key = Array.unsafe_get keys n and v = Array.unsafe_get data n in
+    Array.unsafe_set data n t.dummy (* drop the payload reference *);
+    let i = ref 0 and continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && Array.unsafe_get keys r < Array.unsafe_get keys l then r
+          else l
+        in
+        if Array.unsafe_get keys c < key then begin
+          Array.unsafe_set keys !i (Array.unsafe_get keys c);
+          Array.unsafe_set data !i (Array.unsafe_get data c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set keys !i key;
+    Array.unsafe_set data !i v
+  end;
+  top
+
+let clear t =
+  Array.fill t.data 0 t.size t.dummy;
+  t.size <- 0

@@ -1,49 +1,90 @@
+(* Counters are interned cells: each key maps to one mutable record that
+   callers may pre-resolve once ([counter]) and bump in O(1) with no string
+   hashing on the hot path.  A cell only becomes visible in [counters] /
+   [merge_into] / [pp] once it has been written ([touched]), so
+   pre-resolving a counter that never fires leaves reports unchanged. *)
+
+type counter = { mutable v : int; mutable touched : bool }
+
 type t = {
   label : string;
-  table : (string, int) Hashtbl.t;
+  cells : (string, counter) Hashtbl.t;
   maxima : (string, unit) Hashtbl.t; (* keys merged with [max] rather than [+] *)
 }
 
-let create label = { label; table = Hashtbl.create 32; maxima = Hashtbl.create 4 }
+let create label = { label; cells = Hashtbl.create 32; maxima = Hashtbl.create 4 }
 
 let name t = t.label
 
-let get t key = match Hashtbl.find_opt t.table key with Some v -> v | None -> 0
+let counter t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = { v = 0; touched = false } in
+      Hashtbl.add t.cells key c;
+      c
 
-let set t key v = Hashtbl.replace t.table key v
+module Counter = struct
+  let incr c =
+    c.v <- c.v + 1;
+    c.touched <- true
 
-let add t key n = set t key (get t key + n)
+  let add c n =
+    c.v <- c.v + n;
+    c.touched <- true
 
-let incr t key = add t key 1
+  let set c v =
+    c.v <- v;
+    c.touched <- true
+
+  let get c = c.v
+end
+
+let get t key =
+  match Hashtbl.find_opt t.cells key with Some c -> c.v | None -> 0
+
+let add t key n = Counter.add (counter t key) n
+
+let incr t key = Counter.incr (counter t key)
 
 let set_max t key v =
   Hashtbl.replace t.maxima key ();
-  if v > get t key then set t key v
+  let c = counter t key in
+  if v > c.v then Counter.set c v
 
 let observe t key v =
   incr t (key ^ ".count");
   add t (key ^ ".sum") v;
   let kmin = key ^ ".min" and kmax = key ^ ".max" in
   Hashtbl.replace t.maxima kmax ();
-  if not (Hashtbl.mem t.table kmin) || v < get t kmin then set t kmin v;
-  if v > get t kmax then set t kmax v
+  let cmin = counter t kmin in
+  if not cmin.touched || v < cmin.v then Counter.set cmin v;
+  let cmax = counter t kmax in
+  if v > cmax.v then Counter.set cmax v
 
 let mean t key =
   let count = get t (key ^ ".count") in
   if count = 0 then 0.0 else float_of_int (get t (key ^ ".sum")) /. float_of_int count
 
 let counters t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  Hashtbl.fold (fun k c acc -> if c.touched then (k, c.v) :: acc else acc)
+    t.cells []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let merge_into ~dst src =
   Hashtbl.iter
-    (fun k v ->
-      if Hashtbl.mem src.maxima k then set_max dst k v else add dst k v)
-    src.table
+    (fun k c ->
+      if c.touched then
+        if Hashtbl.mem src.maxima k then set_max dst k c.v else add dst k c.v)
+    src.cells
 
 let reset t =
-  Hashtbl.reset t.table;
+  (* interned cells stay valid across a reset: zero them in place *)
+  Hashtbl.iter
+    (fun _ c ->
+      c.v <- 0;
+      c.touched <- false)
+    t.cells;
   Hashtbl.reset t.maxima
 
 let pp ppf t =

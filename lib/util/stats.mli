@@ -1,15 +1,36 @@
 (** Named counters and simple distributions.
 
     Every subsystem (caches, network, NP, protocols) owns a [Stats.t] group;
-    the harness merges and reports them per run.  Counters are plain ints —
-    nothing here is on a hot path that justifies fancier machinery. *)
+    the harness merges and reports them per run.  Hot callers should resolve
+    a {!counter} cell once at install time and bump it through {!Counter} —
+    an O(1) field update with no string hashing per event.  The string-keyed
+    functions remain for cold paths and reporting. *)
 
 type t
+
+type counter
+(** An interned counter cell: one mutable int bound to a key of its group.
+    Cells stay valid across {!reset} (they read as 0 again). *)
 
 val create : string -> t
 (** [create name] is an empty counter group labelled [name]. *)
 
 val name : t -> string
+
+val counter : t -> string -> counter
+(** [counter t key] interns [key] and returns its cell.  Until first written
+    through {!Counter}, the cell is invisible to {!counters}, {!merge_into}
+    and {!pp}, so pre-resolving counters never changes reports. *)
+
+module Counter : sig
+  val incr : counter -> unit
+
+  val add : counter -> int -> unit
+
+  val set : counter -> int -> unit
+
+  val get : counter -> int
+end
 
 val incr : t -> string -> unit
 

@@ -51,6 +51,52 @@ let test_engine_nested_scheduling () =
   Engine.run e;
   Alcotest.(check (list int)) "nested" [ 1; 2; 6 ] (List.rev !log)
 
+let prop_engine_stable_order =
+  QCheck.Test.make ~name:"events fire time-major, FIFO within a time"
+    ~count:200
+    QCheck.(list (int_range 0 50))
+    (fun times ->
+      let e = Engine.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i time -> Engine.at e time (fun () -> log := (time, i) :: !log))
+        times;
+      Engine.run e;
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i time -> (time, i)) times)
+      in
+      List.rev !log = expected)
+
+let test_engine_hot_path_no_alloc () =
+  (* the packed-key queue must not allocate per event: everything lives in
+     the heap's preallocated arrays, and the only closure is the caller's *)
+  let e = Engine.create () in
+  let remaining = ref 0 in
+  let fn = ref (fun () -> ()) in
+  (fn :=
+     fun () ->
+       if !remaining > 0 then begin
+         decr remaining;
+         Engine.after e 1 !fn
+       end);
+  (* warm up: run the self-rescheduling chain once so arrays are sized *)
+  remaining := 10;
+  Engine.after e 1 !fn;
+  Engine.run e;
+  let n = 10_000 in
+  remaining := n;
+  Engine.after e 1 !fn;
+  let before = Gc.minor_words () in
+  Engine.run e;
+  let delta = Gc.minor_words () -. before in
+  check_bool
+    (Printf.sprintf "minor words per event ~0 (delta %.0f over %d events)"
+       delta n)
+    true
+    (delta < 256.0)
+
 let test_engine_run_until () =
   let e = Engine.create () in
   let fired = ref 0 in
@@ -282,6 +328,9 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick
             test_engine_nested_scheduling;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          QCheck_alcotest.to_alcotest prop_engine_stable_order;
+          Alcotest.test_case "hot path does not allocate" `Quick
+            test_engine_hot_path_no_alloc;
         ] );
       ( "thread",
         [

@@ -3,6 +3,7 @@
 
 module Prng = Tt_util.Prng
 module Heap = Tt_util.Heap
+module Intheap = Tt_util.Intheap
 module Vec = Tt_util.Vec
 module Bitset = Tt_util.Bitset
 module Stats = Tt_util.Stats
@@ -161,6 +162,75 @@ let prop_heap_interleaved =
             | Some _, [] | None, _ :: _ -> false)
         ops)
 
+let test_heap_capacity () =
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Heap.create: capacity must be positive") (fun () ->
+      ignore (Heap.create ~capacity:0 ~cmp:compare ()));
+  (* a tiny initial capacity still grows correctly *)
+  let h = Heap.create ~capacity:2 ~cmp:compare () in
+  for i = 9 downto 0 do
+    Heap.push h i
+  done;
+  Alcotest.(check (list int)) "order preserved across growth"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (Heap.to_sorted_list h)
+
+(* ---------------- Intheap ---------------- *)
+
+let test_intheap_basic () =
+  let h = Intheap.create ~dummy:"" () in
+  check_bool "empty" true (Intheap.is_empty h);
+  List.iter (fun k -> Intheap.push h k (string_of_int k)) [ 5; 3; 8; 1 ];
+  check_int "length" 4 (Intheap.length h);
+  check_int "min_key" 1 (Intheap.min_key h);
+  Alcotest.(check string) "pop payload of min" "1" (Intheap.pop_exn h);
+  Alcotest.(check string) "next" "3" (Intheap.pop_exn h);
+  Intheap.push h 0 "0";
+  Alcotest.(check string) "new min" "0" (Intheap.pop_exn h);
+  Intheap.clear h;
+  check_bool "cleared" true (Intheap.is_empty h);
+  Alcotest.check_raises "min_key on empty"
+    (Invalid_argument "Intheap.min_key: empty heap") (fun () ->
+      ignore (Intheap.min_key h));
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Intheap.pop_exn: empty heap") (fun () ->
+      ignore (Intheap.pop_exn h))
+
+let prop_intheap_sorts =
+  QCheck.Test.make ~name:"intheap pops keys in sorted order, keyed payloads"
+    ~count:500
+    QCheck.(list int)
+    (fun keys ->
+      let h = Intheap.create ~capacity:1 ~dummy:min_int () in
+      List.iter (fun k -> Intheap.push h k k) keys;
+      let rec drain acc =
+        if Intheap.is_empty h then List.rev acc
+        else begin
+          let k = Intheap.min_key h in
+          let v = Intheap.pop_exn h in
+          drain ((k, v) :: acc)
+        end
+      in
+      let got = drain [] in
+      List.map fst got = List.sort compare keys
+      && List.for_all (fun (k, v) -> k = v) got)
+
+let prop_intheap_matches_heap =
+  QCheck.Test.make ~name:"intheap agrees with the generic heap" ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let a = Intheap.create ~dummy:0 () in
+      let b = Heap.create ~cmp:compare () in
+      List.for_all
+        (fun (is_push, k) ->
+          if is_push then begin
+            Intheap.push a k k;
+            Heap.push b k;
+            true
+          end
+          else if Intheap.is_empty a then Heap.pop b = None
+          else Heap.pop b = Some (Intheap.pop_exn a))
+        ops)
+
 (* ---------------- Vec ---------------- *)
 
 let test_vec_basic () =
@@ -284,6 +354,35 @@ let test_stats_reset () =
   Stats.reset s;
   check_int "cleared" 0 (Stats.get s "x")
 
+let test_stats_interned_counter () =
+  let s = Stats.create "t" in
+  let c = Stats.counter s "hot" in
+  (* an interned-but-never-bumped counter must not show up in reports *)
+  check_bool "untouched cell invisible" true
+    (List.assoc_opt "hot" (Stats.counters s) = None);
+  check_int "string get on untouched" 0 (Stats.get s "hot");
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  check_int "visible via string get" 5 (Stats.get s "hot");
+  check_int "Counter.get" 5 (Stats.Counter.get c);
+  check_bool "touched cell listed" true
+    (List.assoc_opt "hot" (Stats.counters s) = Some 5);
+  Stats.incr s "hot";
+  check_int "string incr hits the same cell" 6 (Stats.Counter.get c);
+  Stats.reset s;
+  check_int "reset zeroes in place" 0 (Stats.Counter.get c);
+  Stats.Counter.incr c;
+  check_int "interned ref survives reset" 1 (Stats.get s "hot")
+
+let test_stats_untouched_not_merged () =
+  let a = Stats.create "a" and b = Stats.create "b" in
+  let _quiet = Stats.counter b "quiet" in
+  Stats.add b "loud" 2;
+  Stats.merge_into ~dst:a b;
+  check_bool "untouched counter not merged" true
+    (List.assoc_opt "quiet" (Stats.counters a) = None);
+  check_int "touched counter merged" 2 (Stats.get a "loud")
+
 (* ---------------- Tablefmt ---------------- *)
 
 let test_tablefmt_render () =
@@ -334,8 +433,15 @@ let () =
           Alcotest.test_case "basic order" `Quick test_heap_basic;
           Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
           Alcotest.test_case "to_sorted_list" `Quick test_heap_to_sorted_list;
+          Alcotest.test_case "capacity" `Quick test_heap_capacity;
           qc prop_heap_sorts;
           qc prop_heap_interleaved;
+        ] );
+      ( "intheap",
+        [
+          Alcotest.test_case "basic" `Quick test_intheap_basic;
+          qc prop_intheap_sorts;
+          qc prop_intheap_matches_heap;
         ] );
       ( "vec",
         [
@@ -357,6 +463,10 @@ let () =
           Alcotest.test_case "merge" `Quick test_stats_merge;
           Alcotest.test_case "set_max" `Quick test_stats_set_max;
           Alcotest.test_case "reset" `Quick test_stats_reset;
+          Alcotest.test_case "interned counter" `Quick
+            test_stats_interned_counter;
+          Alcotest.test_case "untouched not merged" `Quick
+            test_stats_untouched_not_merged;
         ] );
       ( "tablefmt",
         [
