@@ -139,7 +139,23 @@ let bench_fig3_stache =
 
 let bench_fig3_dirnnb =
   Test.make ~name:"fig3_block_fetch_dirnnb"
-    (Staged.stage (fun () -> ignore (fetch_round_trip H.Machine.dirnnb)))
+    (Staged.stage (fun () ->
+         ignore (fetch_round_trip (fun p -> H.Machine.dirnnb p))))
+
+(* Reliable-delivery overhead: the same round trip with the user-level
+   transport active over a 5%-drop fabric (sequencing, acks, retransmit
+   timers).  Compare against fig3_block_fetch_stache for the wall-clock
+   cost of the reliability layer. *)
+let bench_fig3_stache_reliable =
+  let cfg =
+    Tt_net.Faults.uniform ~seed:2026 ~drop:0.05 ~dup:0.0125 ~reorder:0.025 ()
+  in
+  Test.make ~name:"fig3_block_fetch_stache_reliable"
+    (Staged.stage (fun () ->
+         ignore
+           (fetch_round_trip
+              (H.Machine.typhoon_stache
+                 ~reliability:(Tt_net.Reliable.Flaky cfg)))))
 
 (* Figure 4's unit: a tiny EM3D run under the update protocol. *)
 let bench_fig4 =
@@ -208,7 +224,8 @@ let bench_ablation_event_queue =
 
 let benchmarks =
   [ bench_table1; bench_table2; bench_table3; bench_fig3_stache;
-    bench_fig3_dirnnb; bench_fig4; bench_ablation_effects;
+    bench_fig3_dirnnb; bench_fig3_stache_reliable; bench_fig4;
+    bench_ablation_effects;
     bench_ablation_sharers_pointers; bench_ablation_sharers_overflow;
     bench_ablation_event_queue ]
 

@@ -207,7 +207,7 @@ let sweep_cmd =
 let verify_cmd =
   let run nodes scale =
     let machines =
-      [ ("dirnnb", H.Machine.dirnnb);
+      [ ("dirnnb", fun p -> H.Machine.dirnnb p);
         ("stache", fun p -> H.Machine.typhoon_stache p);
         ("update", fun p -> H.Machine.typhoon_em3d p) ]
     in
@@ -277,6 +277,67 @@ let tables_cmd =
 
 (* --- tt list --- *)
 
+(* --- tt faults --- *)
+
+let faults_cmd =
+  let apps_t =
+    Arg.(
+      value
+      & opt (list (enum (List.map (fun n -> (n, n)) H.Catalog.names)))
+          H.Catalog.names
+      & info [ "apps" ] ~doc:"Comma-separated benchmarks to sweep.")
+  in
+  let machine_t =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) H.Faultsweep.machines)) "stache"
+      & info [ "m"; "machine" ] ~doc:"Machine: stache, dirnnb or update.")
+  in
+  let drops_t =
+    Arg.(
+      value
+      & opt (list float) [ 1.0; 5.0 ]
+      & info [ "drops" ]
+          ~doc:"Comma-separated per-message drop rates, in percent.")
+  in
+  let seeds_t =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3 ]
+      & info [ "seeds" ] ~doc:"Comma-separated fault-model seeds.")
+  in
+  let run apps machine drops seeds nodes scale =
+    let drops = List.map (fun pct -> pct /. 100.0) drops in
+    let points =
+      H.Faultsweep.run ~apps ~machine ~drops ~seeds ~scale ~nodes ()
+    in
+    print_string (H.Faultsweep.render points);
+    print_newline ();
+    if H.Faultsweep.all_passed points then
+      print_endline
+        "all runs completed with results identical to the fault-free oracle"
+    else begin
+      print_endline "FAILURES above";
+      exit 1
+    end
+  in
+  let doc =
+    "Fault sweep: run benchmarks over a lossy fabric (drop/duplicate/reorder \
+     injection) behind the user-level reliable transport, verifying results \
+     against the fault-free oracle and reporting retransmit overhead."
+  in
+  let scale_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "scale" ] ~doc:"Data-set scale factor (default 0.25).")
+  in
+  let nodes_t =
+    Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ apps_t $ machine_t $ drops_t $ seeds_t $ nodes_t $ scale_t)
+
 let list_cmd =
   let run () =
     Printf.printf "benchmarks: %s\nmachines:   %s\n"
@@ -291,4 +352,4 @@ let () =
   let info = Cmd.info "tt" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; fig3_cmd; fig4_cmd; tables_cmd; ablations_cmd; sweep_cmd;
-         verify_cmd; list_cmd ]))
+         faults_cmd; verify_cmd; list_cmd ]))

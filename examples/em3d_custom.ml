@@ -39,7 +39,7 @@ let () =
         ignore
           (Run.spmd machine ~name:"em3d-verify" ~check:false inst.Em3d.verify);
         (label, r))
-      [ ("dirnnb", Machine.dirnnb);
+      [ ("dirnnb", (fun p -> Machine.dirnnb p));
         ("stache", fun p -> Machine.typhoon_stache p);
         ("update", fun p -> Machine.typhoon_em3d p) ]
   in

@@ -7,6 +7,7 @@ module Tlb = Tt_mem.Tlb
 module Cache = Tt_cache.Cache
 module Message = Tt_net.Message
 module Fabric = Tt_net.Fabric
+module Reliable = Tt_net.Reliable
 module Stats = Tt_util.Stats
 module Bitset = Tt_util.Bitset
 
@@ -105,6 +106,7 @@ type t = {
   engine : Engine.t;
   params : Params.t;
   fabric : Fabric.t;
+  net : Reliable.t;
   nodes : node array;
   homes : (int, int) Hashtbl.t; (* vpage -> home node *)
   mutable alloc_cursor : int;
@@ -118,6 +120,8 @@ let params t = t.params
 let nnodes t = Array.length t.nodes
 
 let fabric t = t.fabric
+
+let net t = t.net
 
 let home_mem t i = t.nodes.(i).mem
 
@@ -147,7 +151,7 @@ let block_data = Bytes.make Addr.block_size '\000'
 
 let send t ~src ~at ~dst ~vnet ~handler ~args ~with_data =
   let data = if with_data then block_data else Bytes.empty in
-  Fabric.send t.fabric ~at
+  Reliable.send t.net ~at
     (Message.make ~src ~dst ~vnet ~handler ~args ~data ())
 
 (* Eviction of an exclusively-held line: hardware writeback to home. *)
@@ -503,7 +507,7 @@ let ctrl_exec t node msg =
   end
   else invalid_arg (Printf.sprintf "Dirnnb: unknown handler %d" handler)
 
-let create engine (p : Params.t) =
+let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
   (match Params.validate p with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Dirnnb.System.create: " ^ msg));
@@ -512,6 +516,7 @@ let create engine (p : Params.t) =
     Fabric.create engine ~nodes:p.Params.nodes ~latency:p.Params.net_latency
       ?words_per_cycle:p.Params.link_words_per_cycle ()
   in
+  let net = Reliable.create engine fabric reliability in
   let nodes =
     Array.init p.Params.nodes (fun id ->
         let stats = Stats.create (Printf.sprintf "node%d" id) in
@@ -542,13 +547,13 @@ let create engine (p : Params.t) =
         })
   in
   let t =
-    { engine; params = p; fabric; nodes; homes = Hashtbl.create 4096;
+    { engine; params = p; fabric; net; nodes; homes = Hashtbl.create 4096;
       alloc_cursor = 0x1000_0000; next_home = 0 }
   in
   Array.iter
     (fun node ->
       node.ctrl.Ctrl.exec <- ctrl_exec t node;
-      Fabric.set_receiver fabric ~node:node.id (fun msg ->
+      Reliable.set_receiver net ~node:node.id (fun msg ->
           Ctrl.post node.ctrl msg))
     nodes;
   t
@@ -622,7 +627,7 @@ let miss_via_directory t node th ~home ~handler block =
             Thread.set_clock th
               (max (Thread.clock th) node.ctrl.Ctrl.clock);
             wake repl);
-        Fabric.send t.fabric ~at:(Thread.clock th) msg)
+        Reliable.send t.net ~at:(Thread.clock th) msg)
   in
   Thread.advance th
     ((if local then t.params.Params.local_miss
@@ -741,6 +746,10 @@ let merged_stats t =
   let out = Stats.create "dirnnb" in
   Array.iter (fun n -> Stats.merge_into ~dst:out n.stats) t.nodes;
   Stats.merge_into ~dst:out (Fabric.stats t.fabric);
+  Stats.merge_into ~dst:out (Reliable.stats t.net);
+  (match Reliable.fault_stats t.net with
+  | Some s -> Stats.merge_into ~dst:out s
+  | None -> ());
   out
 
 let check_invariants t =
@@ -783,6 +792,65 @@ let check_invariants t =
                 | None ->
                     fail "block 0x%x cached exclusive at %d but unowned"
                       block node.id)
+          end))
+    t.nodes;
+  (* Cross-node audit: a writable (Exclusive) copy excludes every other
+     cached copy of the block, machine-wide. *)
+  let copies = Hashtbl.create 64 in
+  Array.iter
+    (fun node ->
+      Cache.iter node.cache (fun block state ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt copies block)
+          in
+          Hashtbl.replace copies block ((node.id, state) :: prev)))
+    t.nodes;
+  Hashtbl.iter
+    (fun block holders ->
+      match List.filter (fun (_, s) -> s = Cache.Exclusive) holders with
+      | [] -> ()
+      | [ (owner, _) ] ->
+          if List.length holders > 1 then
+            fail "block 0x%x: exclusive at %d but also cached at %s" block
+              owner
+              (String.concat ", "
+                 (List.filter_map
+                    (fun (n, _) ->
+                      if n = owner then None else Some (string_of_int n))
+                    holders))
+      | ex ->
+          fail "block 0x%x: multiple exclusive copies (%s)" block
+            (String.concat ", " (List.map (fun (n, _) -> string_of_int n) ex)))
+    copies;
+  (* Cross-node audit: every cached shared copy appears in its home
+     directory's sharer set (unless precise identity was lost to the
+     limited-pointer overflow, in which case invals broadcast anyway).
+     The converse — a listed sharer without a copy — is legal: shared
+     lines are evicted silently. *)
+  Array.iter
+    (fun node ->
+      Cache.iter node.cache (fun block state ->
+          if state = Cache.Shared then begin
+            let vpage = block * Addr.block_size / Addr.page_size in
+            match Hashtbl.find_opt t.homes vpage with
+            | None -> ()
+            | Some home_id -> (
+                match Directory.find t.nodes.(home_id).dir ~block with
+                | None ->
+                    fail
+                      "block 0x%x: cached shared at %d but home %d has no \
+                       directory entry"
+                      block node.id home_id
+                | Some entry ->
+                    if
+                      (not entry.Directory.overflowed)
+                      && (not (Bitset.mem entry.Directory.sharers node.id))
+                      && entry.Directory.owner <> Some node.id
+                    then
+                      fail
+                        "block 0x%x: cached shared at %d but absent from \
+                         home %d's sharer set"
+                        block node.id home_id)
           end))
     t.nodes;
   match !problem with None -> Ok () | Some msg -> Error msg

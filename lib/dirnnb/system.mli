@@ -13,7 +13,8 @@
 
 type t
 
-val create : Tt_sim.Engine.t -> Params.t -> t
+val create :
+  ?reliability:Tt_net.Reliable.policy -> Tt_sim.Engine.t -> Params.t -> t
 
 val engine : t -> Tt_sim.Engine.t
 
@@ -22,6 +23,8 @@ val params : t -> Params.t
 val nnodes : t -> int
 
 val fabric : t -> Tt_net.Fabric.t
+
+val net : t -> Tt_net.Reliable.t
 
 val map_shared_page : t -> vpage:int -> home:int -> unit
 (** Allocate the backing page at [home] and record the global translation.

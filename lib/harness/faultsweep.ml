@@ -1,0 +1,148 @@
+module Stats = Tt_util.Stats
+module Reliable = Tt_net.Reliable
+module Faults = Tt_net.Faults
+
+type outcome = Passed | Failed of string
+
+type point = {
+  app : string;
+  machine_label : string;
+  drop : float;
+  seed : int;
+  cycles : int;
+  base_cycles : int;
+  data_sent : int;
+  retransmits : int;
+  acks : int;
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  outcome : outcome;
+}
+
+let machines = [ "stache"; "dirnnb"; "update" ]
+
+let make_machine ~machine ?reliability params =
+  match machine with
+  | "stache" -> Machine.typhoon_stache ?reliability params
+  | "dirnnb" -> Machine.dirnnb ?reliability params
+  | "update" -> Machine.typhoon_em3d ?reliability params
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Faultsweep: unknown machine %S (expected %s)" other
+           (String.concat "|" machines))
+
+(* A drop rate implies correlated dup/reorder rates so one sweep axis
+   exercises the whole fault taxonomy. *)
+let config_of ~drop ~seed =
+  Faults.uniform ~seed ~drop ~dup:(drop /. 4.0) ~reorder:(drop /. 2.0) ()
+
+let total_msgs stats =
+  Stats.get stats "msgs.request" + Stats.get stats "msgs.response"
+
+let run_app ~machine ~name ~size ~scale ~nodes ~drops ~seeds =
+  let params = { Params.default with Params.nodes } in
+  (* fault-free baseline: the oracle every faulty run must match, and the
+     yardstick for the watchdog budgets *)
+  let base, base_msgs =
+    let m = make_machine ~machine params in
+    let app = Catalog.make ~name ~size ~scale ~nprocs:nodes in
+    let r = Run.spmd m ~name app.Catalog.body in
+    ignore
+      (Run.spmd m ~name:(name ^ "-verify") ~check:false app.Catalog.verify);
+    (r, total_msgs r.Run.run_stats)
+  in
+  List.concat_map
+    (fun drop ->
+      List.map
+        (fun seed ->
+          let reliability = Reliable.Flaky (config_of ~drop ~seed) in
+          let m = make_machine ~machine ~reliability params in
+          let watchdog =
+            Watchdog.create
+              ~max_cycles:((base.Run.cycles * 100) + 5_000_000)
+              ~max_retransmits:((base_msgs * 10) + 100_000)
+              ()
+          in
+          let app = Catalog.make ~name ~size ~scale ~nprocs:nodes in
+          let finish outcome cycles =
+            let s = m.Machine.merged_stats () in
+            {
+              app = name;
+              machine_label = m.Machine.label;
+              drop;
+              seed;
+              cycles;
+              base_cycles = base.Run.cycles;
+              data_sent = Stats.get s "reliable.data_sent";
+              retransmits = Stats.get s "reliable.retransmits";
+              acks = Stats.get s "reliable.acks_sent";
+              dropped = Stats.get s "faults.dropped";
+              duplicated = Stats.get s "faults.duplicated";
+              reordered = Stats.get s "faults.reordered";
+              outcome;
+            }
+          in
+          match
+            let r = Run.spmd m ~name ~watchdog app.Catalog.body in
+            (* the app's own verify checks the final data against its
+               sequential oracle — "results identical to fault-free" *)
+            ignore
+              (Run.spmd m ~name:(name ^ "-verify") ~check:false ~watchdog
+                 app.Catalog.verify);
+            r
+          with
+          | r -> finish Passed r.Run.cycles
+          | exception Reliable.Link_failed msg ->
+              finish (Failed ("Link_failed: " ^ msg)) 0
+          | exception Watchdog.Expired msg -> finish (Failed msg) 0
+          | exception Run.Stuck msg -> finish (Failed msg) 0
+          | exception Failure msg -> finish (Failed msg) 0
+          | exception Invalid_argument msg ->
+              finish (Failed ("Invalid_argument: " ^ msg)) 0)
+        seeds)
+    drops
+
+let run ?(apps = Catalog.names) ?(machine = "stache")
+    ?(drops = [ 0.01; 0.05 ]) ?(seeds = [ 1; 2; 3 ]) ?(size = Catalog.Small)
+    ?(scale = 0.25) ?(nodes = 8) () =
+  List.concat_map
+    (fun name -> run_app ~machine ~name ~size ~scale ~nodes ~drops ~seeds)
+    apps
+
+let all_passed points =
+  List.for_all (fun p -> p.outcome = Passed) points
+
+let render points =
+  let t =
+    Tt_util.Tablefmt.create
+      ~title:
+        "Fault sweep: Fig. 3 apps over an unreliable fabric (results \
+         verified against the fault-free oracle)"
+      ~columns:
+        [ ("app", Tt_util.Tablefmt.Left); ("machine", Tt_util.Tablefmt.Left);
+          ("drop%", Tt_util.Tablefmt.Right); ("seed", Tt_util.Tablefmt.Right);
+          ("cycles", Tt_util.Tablefmt.Right);
+          ("xbase", Tt_util.Tablefmt.Right);
+          ("sent", Tt_util.Tablefmt.Right); ("retx", Tt_util.Tablefmt.Right);
+          ("acks", Tt_util.Tablefmt.Right);
+          ("dropped", Tt_util.Tablefmt.Right);
+          ("dup", Tt_util.Tablefmt.Right); ("reord", Tt_util.Tablefmt.Right);
+          ("result", Tt_util.Tablefmt.Left) ]
+  in
+  List.iter
+    (fun p ->
+      Tt_util.Tablefmt.add_row t
+        [ p.app; p.machine_label;
+          Printf.sprintf "%.1f" (100.0 *. p.drop);
+          string_of_int p.seed; string_of_int p.cycles;
+          (if p.cycles = 0 then "-"
+           else
+             Printf.sprintf "%.2f"
+               (float_of_int p.cycles /. float_of_int p.base_cycles));
+          string_of_int p.data_sent; string_of_int p.retransmits;
+          string_of_int p.acks; string_of_int p.dropped;
+          string_of_int p.duplicated; string_of_int p.reordered;
+          (match p.outcome with Passed -> "ok" | Failed m -> "FAIL: " ^ m) ])
+    points;
+  Tt_util.Tablefmt.render t

@@ -1,0 +1,46 @@
+(** Fault-tolerance sweep: the Fig. 3 applications on an unreliable fabric.
+
+    For each app the sweep first takes a fault-free baseline (whose verify
+    pass establishes the oracle results), then re-runs under
+    [Reliable.Flaky] across a drop-rate × seed grid.  Each faulty run must
+    finish under a {!Watchdog} budget derived from the baseline, pass the
+    machine's global coherence audit, and reproduce the application's
+    results exactly (the app's own verify body checks final data against
+    its sequential oracle).  Failures are captured per point rather than
+    raised, so one bad cell doesn't abort the sweep. *)
+
+type outcome = Passed | Failed of string
+
+type point = {
+  app : string;
+  machine_label : string;
+  drop : float;  (** per-message drop probability, both vnets *)
+  seed : int;
+  cycles : int;  (** 0 when the run failed *)
+  base_cycles : int;
+  data_sent : int;  (** sequenced sends, incl. the baseline's traffic *)
+  retransmits : int;
+  acks : int;  (** standalone (non-piggybacked) acks *)
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  outcome : outcome;
+}
+
+val machines : string list
+(** Accepted machine names: ["stache"], ["dirnnb"], ["update"]. *)
+
+val config_of : drop:float -> seed:int -> Tt_net.Faults.config
+(** The sweep's fault taxonomy for one grid cell: drop at the given rate,
+    duplicate at a quarter of it, reorder at half of it, on both vnets. *)
+
+val run :
+  ?apps:string list -> ?machine:string -> ?drops:float list ->
+  ?seeds:int list -> ?size:Catalog.size -> ?scale:float -> ?nodes:int ->
+  unit -> point list
+(** Defaults: all catalog apps, machine ["stache"], drops [[0.01; 0.05]],
+    seeds [[1; 2; 3]], small data sets at scale 0.25 on 8 nodes. *)
+
+val all_passed : point list -> bool
+
+val render : point list -> string

@@ -9,6 +9,7 @@ type t = {
   label : string;
   engine : Engine.t;
   mparams : Params.t;
+  net : Tt_net.Reliable.t;
   read : node:int -> Thread.t -> int -> float;
   write : node:int -> Thread.t -> int -> float -> unit;
   read_int : node:int -> Thread.t -> int -> int;
@@ -22,9 +23,9 @@ type t = {
     (string, node:int -> Thread.t -> ?home:int -> int -> int) Hashtbl.t;
 }
 
-let typhoon_stache_full ?max_stache_pages params =
+let typhoon_stache_full ?reliability ?max_stache_pages params =
   let engine = Engine.create () in
-  let sys = Typhoon.create engine params in
+  let sys = Typhoon.create ?reliability engine params in
   let max_stache_pages =
     match max_stache_pages with
     | Some _ as v -> v
@@ -36,6 +37,7 @@ let typhoon_stache_full ?max_stache_pages params =
       label = "typhoon/stache";
       engine;
       mparams = params;
+      net = Typhoon.net sys;
       read = (fun ~node th a -> Typhoon.cpu_read_f64 sys ~node th a);
       write = (fun ~node th a v -> Typhoon.cpu_write_f64 sys ~node th a v);
       read_int = (fun ~node th a -> Typhoon.cpu_read_int sys ~node th a);
@@ -58,18 +60,19 @@ let typhoon_stache_full ?max_stache_pages params =
   in
   machine, sys, stache
 
-let typhoon_stache ?max_stache_pages params =
-  let m, _, _ = typhoon_stache_full ?max_stache_pages params in
+let typhoon_stache ?reliability ?max_stache_pages params =
+  let m, _, _ = typhoon_stache_full ?reliability ?max_stache_pages params in
   m
 
-let dirnnb_full params =
+let dirnnb_full ?reliability params =
   let engine = Engine.create () in
-  let sys = Dirnnb.create engine params in
+  let sys = Dirnnb.create ?reliability engine params in
   let machine =
     {
       label = "dirnnb";
       engine;
       mparams = params;
+      net = Dirnnb.net sys;
       read = (fun ~node th a -> Dirnnb.cpu_read_f64 sys ~node th a);
       write = (fun ~node th a v -> Dirnnb.cpu_write_f64 sys ~node th a v);
       read_int = (fun ~node th a -> Dirnnb.cpu_read_int sys ~node th a);
@@ -85,12 +88,14 @@ let dirnnb_full params =
   in
   machine, sys
 
-let dirnnb params =
-  let m, _ = dirnnb_full params in
+let dirnnb ?reliability params =
+  let m, _ = dirnnb_full ?reliability params in
   m
 
-let typhoon_em3d_full ?max_stache_pages params =
-  let machine, sys, stache = typhoon_stache_full ?max_stache_pages params in
+let typhoon_em3d_full ?reliability ?max_stache_pages params =
+  let machine, sys, stache =
+    typhoon_stache_full ?reliability ?max_stache_pages params
+  in
   let proto = Tt_custom.Em3d_proto.install sys stache in
   let machine =
     { machine with
@@ -111,6 +116,6 @@ let typhoon_em3d_full ?max_stache_pages params =
     [ "e"; "h" ];
   machine, sys, stache, proto
 
-let typhoon_em3d ?max_stache_pages params =
-  let m, _, _, _ = typhoon_em3d_full ?max_stache_pages params in
+let typhoon_em3d ?reliability ?max_stache_pages params =
+  let m, _, _, _ = typhoon_em3d_full ?reliability ?max_stache_pages params in
   m

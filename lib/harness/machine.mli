@@ -8,6 +8,9 @@ type t = {
   label : string;
   engine : Tt_sim.Engine.t;
   mparams : Params.t;
+  net : Tt_net.Reliable.t;
+      (** the machine's transport layer; [Tt_net.Reliable.Perfect] unless a
+          [reliability] knob was passed at construction *)
   read : node:int -> Tt_sim.Thread.t -> int -> float;
   write : node:int -> Tt_sim.Thread.t -> int -> float -> unit;
   read_int : node:int -> Tt_sim.Thread.t -> int -> int;
@@ -27,24 +30,30 @@ type t = {
           them through {!Tt_app.Env.t.alloc_kind} *)
 }
 
-val typhoon_stache : ?max_stache_pages:int -> Params.t -> t
-(** A fresh Typhoon machine with the Stache library installed. *)
+val typhoon_stache :
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int -> Params.t -> t
+(** A fresh Typhoon machine with the Stache library installed.
+    [reliability] (default [Perfect]) selects the transport policy: under
+    [Flaky cfg] all remote traffic crosses a {!Tt_net.Faults} injector and
+    the user-level {!Tt_net.Reliable} transport. *)
 
 val typhoon_stache_full :
-  ?max_stache_pages:int -> Params.t ->
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int -> Params.t ->
   t * Tt_typhoon.System.t * Tt_stache.Stache.t
 (** Like {!typhoon_stache} but also returns the underlying system and
     protocol handles (used by tests and by custom-protocol setups). *)
 
-val dirnnb : Params.t -> t
+val dirnnb : ?reliability:Tt_net.Reliable.policy -> Params.t -> t
 
-val dirnnb_full : Params.t -> t * Tt_dirnnb.System.t
+val dirnnb_full :
+  ?reliability:Tt_net.Reliable.policy -> Params.t -> t * Tt_dirnnb.System.t
 
-val typhoon_em3d : ?max_stache_pages:int -> Params.t -> t
+val typhoon_em3d :
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int -> Params.t -> t
 (** Typhoon with Stache plus the EM3D delayed-update protocol installed
     ("Typhoon/Update" in Figure 4).  Exposes hooks ["em3d.sync:<kind>"] and
     the allocator kind ["em3d:<kind>"] for the value arrays. *)
 
 val typhoon_em3d_full :
-  ?max_stache_pages:int -> Params.t ->
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int -> Params.t ->
   t * Tt_typhoon.System.t * Tt_stache.Stache.t * Tt_custom.Em3d_proto.t

@@ -53,7 +53,7 @@ let make_env (machine : Machine.t) ~barrier ~locks ~proc th =
     has_hook = (fun name -> Hashtbl.mem machine.Machine.hooks name);
   }
 
-let spmd (machine : Machine.t) ~name ?(check = true) body =
+let spmd (machine : Machine.t) ~name ?(check = true) ?watchdog body =
   let nprocs = machine.Machine.mparams.Params.nodes in
   let barrier =
     Barrier.create machine.Machine.engine ~participants:nprocs
@@ -67,7 +67,11 @@ let spmd (machine : Machine.t) ~name ?(check = true) body =
           ~name:(Printf.sprintf "%s.cpu%d" name proc)
           (fun th -> body (make_env machine ~barrier ~locks ~proc th)))
   in
-  Engine.run machine.Machine.engine;
+  (match watchdog with
+  | None -> Engine.run machine.Machine.engine
+  | Some w ->
+      Watchdog.drive w machine.Machine.engine ~retransmits:(fun () ->
+          Tt_net.Reliable.retransmits machine.Machine.net));
   Array.iteri
     (fun i th ->
       if not (Thread.finished th) then

@@ -18,7 +18,10 @@ exception Stuck of string
     deadlock or a lost wakeup — always a bug). *)
 
 val spmd :
-  Machine.t -> name:string -> ?check:bool -> (Tt_app.Env.t -> unit) -> result
-(** [check] (default true) verifies machine invariants after the run. *)
+  Machine.t -> name:string -> ?check:bool -> ?watchdog:Watchdog.t ->
+  (Tt_app.Env.t -> unit) -> result
+(** [check] (default true) verifies machine invariants after the run.
+    [watchdog] (default none) drives the engine under cycle/retransmission
+    budgets and raises {!Watchdog.Expired} on livelock. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,55 @@
+module Engine = Tt_sim.Engine
+
+type t = {
+  max_cycles : int option;
+  max_retransmits : int option;
+  check_interval : int;
+}
+
+exception Expired of string
+
+let create ?max_cycles ?max_retransmits ?(check_interval = 10_000) () =
+  (match max_cycles with
+  | Some c when c <= 0 -> invalid_arg "Watchdog.create: bad cycle budget"
+  | Some _ | None -> ());
+  (match max_retransmits with
+  | Some r when r < 0 -> invalid_arg "Watchdog.create: bad retransmit budget"
+  | Some _ | None -> ());
+  if check_interval <= 0 then invalid_arg "Watchdog.create: bad interval";
+  if max_cycles = None && max_retransmits = None then
+    invalid_arg "Watchdog.create: no budget given";
+  { max_cycles; max_retransmits; check_interval }
+
+let drive t engine ~retransmits =
+  let rec loop target =
+    let target =
+      match t.max_cycles with
+      | Some budget -> min target budget
+      | None -> target
+    in
+    let drained = Engine.run_until engine ~limit:target in
+    (match t.max_retransmits with
+    | Some budget ->
+        let r = retransmits () in
+        if r > budget then
+          raise
+            (Expired
+               (Printf.sprintf
+                  "watchdog: retransmission budget exceeded (%d > %d) at \
+                   cycle %d — livelocked link?"
+                  r budget (Engine.now engine)))
+    | None -> ());
+    if not drained then begin
+      (match t.max_cycles with
+      | Some budget when target >= budget ->
+          raise
+            (Expired
+               (Printf.sprintf
+                  "watchdog: simulated-cycle budget %d exceeded with %d \
+                   events still pending"
+                  budget (Engine.pending engine)))
+      | Some _ | None -> ());
+      loop (target + t.check_interval)
+    end
+  in
+  loop (Engine.now engine + t.check_interval)

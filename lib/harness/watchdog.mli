@@ -1,0 +1,26 @@
+(** Global progress oracle: livelock detection for simulation runs.
+
+    The quiescence check in {!Run} catches deadlock (the event queue drains
+    with processors unfinished), but a livelocked run — retransmission
+    storms, a protocol ping-ponging forever — keeps the queue busy and
+    never returns.  The watchdog drives the engine in bounded slices and
+    aborts with {!Expired} once a simulated-cycle or retransmission budget
+    is exceeded. *)
+
+type t
+
+exception Expired of string
+
+val create :
+  ?max_cycles:int -> ?max_retransmits:int -> ?check_interval:int -> unit -> t
+(** [max_cycles]: abort once simulated time passes this with events still
+    pending.  [max_retransmits]: abort once the reliable transport has
+    retransmitted more than this many messages.  [check_interval] (default
+    10k cycles): how often budgets are re-checked.  Either budget may be
+    omitted, but not both — a watchdog with nothing to enforce is rejected
+    with [Invalid_argument]. *)
+
+val drive : t -> Tt_sim.Engine.t -> retransmits:(unit -> int) -> unit
+(** Run the engine to completion in [check_interval]-sized slices,
+    re-checking budgets between slices.  @raise Expired on a blown
+    budget. *)

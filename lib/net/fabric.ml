@@ -46,8 +46,17 @@ let set_receiver t ~node f =
   t.receivers.(node) <- Some f
 
 let send t ~at msg =
+  (* validate both endpoints up front: a bad [src] would otherwise index
+     [port_free] out of bounds in bandwidth mode and pass silently in
+     latency mode *)
+  if msg.Message.src < 0 || msg.Message.src >= t.node_count then
+    invalid_arg
+      (Printf.sprintf "Fabric.send: bad source %d (fabric has %d nodes)"
+         msg.Message.src t.node_count);
   if msg.Message.dst < 0 || msg.Message.dst >= t.node_count then
-    invalid_arg "Fabric.send: bad destination";
+    invalid_arg
+      (Printf.sprintf "Fabric.send: bad destination %d (fabric has %d nodes)"
+         msg.Message.dst t.node_count);
   (match msg.Message.vnet with
   | Message.Request ->
       Stats.Counter.incr t.c_msgs_request;
@@ -85,5 +94,12 @@ let send t ~at msg =
       match t.receivers.(msg.Message.dst) with
       | Some receive -> receive msg
       | None ->
+          (* this fires inside the delivery event, long after the send call
+             site — name the message so the offender is diagnosable *)
           invalid_arg
-            (Printf.sprintf "Fabric: node %d has no receiver" msg.Message.dst))
+            (Printf.sprintf
+               "Fabric: node %d has no receiver (message src=%d dst=%d \
+                handler=%d vnet=%s)"
+               msg.Message.dst msg.Message.src msg.Message.dst
+               msg.Message.handler
+               (Message.vnet_to_string msg.Message.vnet)))

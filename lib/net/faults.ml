@@ -1,0 +1,72 @@
+module Stats = Tt_util.Stats
+module Prng = Tt_util.Prng
+
+type rates = { drop : float; dup : float; reorder : float }
+
+let no_faults = { drop = 0.0; dup = 0.0; reorder = 0.0 }
+
+type config = {
+  seed : int;
+  request : rates;
+  response : rates;
+  max_jitter : int;
+}
+
+let uniform ?(seed = 0x7700) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
+    ?(max_jitter = 40) () =
+  let r = { drop; dup; reorder } in
+  { seed; request = r; response = r; max_jitter }
+
+type t = {
+  fabric : Fabric.t;
+  prng : Prng.t;
+  config : config;
+  counters : Stats.t;
+  c_dropped : Stats.counter;
+  c_duplicated : Stats.counter;
+  c_reordered : Stats.counter;
+}
+
+let create config fabric =
+  let counters = Stats.create "faults" in
+  {
+    fabric;
+    prng = Prng.create ~seed:config.seed;
+    config;
+    counters;
+    c_dropped = Stats.counter counters "faults.dropped";
+    c_duplicated = Stats.counter counters "faults.duplicated";
+    c_reordered = Stats.counter counters "faults.reordered";
+  }
+
+let stats t = t.counters
+
+let dropped t = Stats.Counter.get t.c_dropped
+
+(* The PRNG draw sequence per send is fixed (drop, then reorder, then dup
+   on surviving messages), so a given seed yields a bit-reproducible fault
+   pattern for a given traffic sequence — and since the simulation itself
+   is deterministic, for a given (seed, config) pair entirely. *)
+let send t ~at msg =
+  let r =
+    match msg.Message.vnet with
+    | Message.Request -> t.config.request
+    | Message.Response -> t.config.response
+  in
+  if r.drop > 0.0 && Prng.chance t.prng r.drop then
+    Stats.Counter.incr t.c_dropped
+  else begin
+    let jitter =
+      if r.reorder > 0.0 && Prng.chance t.prng r.reorder then begin
+        Stats.Counter.incr t.c_reordered;
+        1 + Prng.int t.prng t.config.max_jitter
+      end
+      else 0
+    in
+    Fabric.send t.fabric ~at:(at + jitter) msg;
+    if r.dup > 0.0 && Prng.chance t.prng r.dup then begin
+      Stats.Counter.incr t.c_duplicated;
+      let jitter' = 1 + Prng.int t.prng t.config.max_jitter in
+      Fabric.send t.fabric ~at:(at + jitter') msg
+    end
+  end

@@ -1,0 +1,44 @@
+(** Deterministic fault injection for the interconnect.
+
+    Wraps {!Fabric.send} with a seeded, reproducible fault model: messages
+    may be dropped, duplicated, or delayed past later traffic
+    (reorder/jitter), with independent probabilities per virtual network.
+    Decisions come from a private splitmix PRNG ({!Tt_util.Prng}), so the
+    same seed and config produce a bit-identical fault pattern — and, the
+    simulation being deterministic, bit-identical runs.
+
+    Typhoon itself assumes a reliable non-corrupting network (§5.1); this
+    layer exists to exercise the user-level {!Reliable} transport and the
+    coherence/progress oracles above it. *)
+
+type rates = { drop : float; dup : float; reorder : float }
+(** Independent per-message probabilities in [0, 1]. *)
+
+val no_faults : rates
+
+type config = {
+  seed : int;
+  request : rates;   (** applied to {!Message.vnet} [Request] traffic *)
+  response : rates;  (** applied to [Response] traffic *)
+  max_jitter : int;  (** max extra delay (cycles) for reordered/dup copies *)
+}
+
+val uniform :
+  ?seed:int -> ?drop:float -> ?dup:float -> ?reorder:float ->
+  ?max_jitter:int -> unit -> config
+(** Same rates on both virtual networks (defaults: all 0, seed 0x7700,
+    max_jitter 40). *)
+
+type t
+
+val create : config -> Fabric.t -> t
+
+val send : t -> at:int -> Message.t -> unit
+(** Like {!Fabric.send}, but the message may be dropped, delivered twice, or
+    delayed by up to [max_jitter] extra cycles (which lets later traffic on
+    the same pair overtake it). *)
+
+val stats : t -> Tt_util.Stats.t
+(** Counters: [faults.dropped], [faults.duplicated], [faults.reordered]. *)
+
+val dropped : t -> int

@@ -9,14 +9,17 @@ type t = {
   handler : int;
   args : int array;
   data : Bytes.t;
+  seq : int;
+  ack : int;
 }
 
 let max_payload_words = 20
 
 let words t = 1 + Array.length t.args + ((Bytes.length t.data + 3) / 4)
 
-let make ~src ~dst ~vnet ~handler ?(args = [||]) ?(data = Bytes.empty) () =
-  let m = { src; dst; vnet; handler; args; data } in
+let make ~src ~dst ~vnet ~handler ?(args = [||]) ?(data = Bytes.empty)
+    ?(seq = -1) ?(ack = -1) () =
+  let m = { src; dst; vnet; handler; args; data; seq; ack } in
   let w = words m in
   if w > max_payload_words then
     invalid_arg

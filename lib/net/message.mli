@@ -22,6 +22,8 @@ type t = {
   handler : int;  (** registered handler id — the "handler PC" *)
   args : int array;
   data : Bytes.t;
+  seq : int;  (** {!Reliable} sequence number; -1 = unsequenced *)
+  ack : int;  (** piggybacked cumulative ack; -1 = none *)
 }
 
 val max_payload_words : int
@@ -32,5 +34,7 @@ val words : t -> int
 
 val make :
   src:int -> dst:int -> vnet:vnet -> handler:int -> ?args:int array ->
-  ?data:Bytes.t -> unit -> t
-(** @raise Invalid_argument if the packet exceeds {!max_payload_words}. *)
+  ?data:Bytes.t -> ?seq:int -> ?ack:int -> unit -> t
+(** [seq] and [ack] default to -1 (no transport envelope); they are stamped
+    by {!Reliable} and ride in the envelope word, so {!words} is unchanged.
+    @raise Invalid_argument if the packet exceeds {!max_payload_words}. *)

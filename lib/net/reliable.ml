@@ -1,0 +1,312 @@
+module Stats = Tt_util.Stats
+module Engine = Tt_sim.Engine
+
+type policy = Perfect | Flaky of Faults.config
+
+exception Link_failed of string
+
+let ack_handler = -1
+
+(* Sender-side state for one (owner, peer) pair: the owner stamps every
+   outgoing message with the next sequence number and keeps it queued until
+   the peer's cumulative ack covers it. *)
+type chan = {
+  ch_src : int;
+  ch_dst : int;
+  mutable next_seq : int;
+  unacked : Message.t Queue.t;
+  mutable retries : int;  (* consecutive timeouts without ack progress *)
+  mutable rto : int;
+  mutable timer_gen : int;  (* engine events can't be cancelled; stale
+                               timer firings compare against this *)
+  mutable timer_armed : bool;
+}
+
+(* Receiver-side state for one (peer, owner) pair: in-order delivery point
+   plus a bounded reassembly window for out-of-order arrivals. *)
+type rchan = {
+  mutable expected : int;
+  ooo : (int, Message.t) Hashtbl.t;
+  mutable last_acked : int;
+  mutable need_ack : bool;
+  mutable ack_gen : int;
+  mutable ack_armed : bool;
+}
+
+type flaky = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  faults : Faults.t;
+  nnodes : int;
+  base_rto : int;
+  rto_cap : int;
+  max_retries : int;
+  ack_delay : int;
+  window : int;
+  senders : chan option array;  (* src * nnodes + dst *)
+  rstates : rchan option array; (* src * nnodes + dst, held at dst *)
+  apps : (Message.t -> unit) option array;
+  c_data_sent : Stats.counter;
+  c_retransmits : Stats.counter;
+  c_acks_sent : Stats.counter;
+  c_dup_dropped : Stats.counter;
+  c_window_drops : Stats.counter;
+}
+
+type t = {
+  fabric : Fabric.t;
+  policy : policy;
+  counters : Stats.t;
+  flaky : flaky option;
+}
+
+let sender st ~src ~dst =
+  let i = (src * st.nnodes) + dst in
+  match st.senders.(i) with
+  | Some ch -> ch
+  | None ->
+      let ch =
+        { ch_src = src; ch_dst = dst; next_seq = 0; unacked = Queue.create ();
+          retries = 0; rto = st.base_rto; timer_gen = 0; timer_armed = false }
+      in
+      st.senders.(i) <- Some ch;
+      ch
+
+let rstate st ~src ~dst =
+  let i = (src * st.nnodes) + dst in
+  match st.rstates.(i) with
+  | Some rc -> rc
+  | None ->
+      let rc =
+        { expected = 0; ooo = Hashtbl.create 16; last_acked = -1;
+          need_ack = false; ack_gen = 0; ack_armed = false }
+      in
+      st.rstates.(i) <- Some rc;
+      rc
+
+let rec arm_retx st ch =
+  ch.timer_armed <- true;
+  ch.timer_gen <- ch.timer_gen + 1;
+  let gen = ch.timer_gen in
+  Engine.after st.engine ch.rto (fun () -> on_retx_timer st ch gen)
+
+and on_retx_timer st ch gen =
+  if gen <> ch.timer_gen then ()
+  else if Queue.is_empty ch.unacked then ch.timer_armed <- false
+  else begin
+    ch.retries <- ch.retries + 1;
+    if ch.retries > st.max_retries then
+      raise
+        (Link_failed
+           (Printf.sprintf
+              "reliable: link %d->%d gave up after %d retransmit rounds \
+               (first unacked seq %d, %d queued, rto %d cycles)"
+              ch.ch_src ch.ch_dst ch.retries
+              (Queue.peek ch.unacked).Message.seq
+              (Queue.length ch.unacked) ch.rto));
+    let now = Engine.now st.engine in
+    Queue.iter
+      (fun m ->
+        Stats.Counter.incr st.c_retransmits;
+        Faults.send st.faults ~at:now m)
+      ch.unacked;
+    ch.rto <- min (2 * ch.rto) st.rto_cap;
+    arm_retx st ch
+  end
+
+(* Cumulative ack from [peer] for the [owner]->[peer] channel. *)
+let process_ack st ~owner ~peer ackno =
+  match st.senders.((owner * st.nnodes) + peer) with
+  | None -> ()
+  | Some ch ->
+      let progressed = ref false in
+      while
+        (not (Queue.is_empty ch.unacked))
+        && (Queue.peek ch.unacked).Message.seq <= ackno
+      do
+        ignore (Queue.pop ch.unacked);
+        progressed := true
+      done;
+      if !progressed then begin
+        ch.retries <- 0;
+        ch.rto <- st.base_rto;
+        ch.timer_gen <- ch.timer_gen + 1;
+        if Queue.is_empty ch.unacked then ch.timer_armed <- false
+        else arm_retx st ch
+      end
+
+let rec arm_ack st ~src ~dst rc =
+  if not rc.ack_armed then begin
+    rc.ack_armed <- true;
+    rc.ack_gen <- rc.ack_gen + 1;
+    let gen = rc.ack_gen in
+    Engine.after st.engine st.ack_delay (fun () -> on_ack_timer st ~src ~dst rc gen)
+  end
+
+and on_ack_timer st ~src ~dst rc gen =
+  if gen <> rc.ack_gen then ()
+  else begin
+    rc.ack_armed <- false;
+    (* a piggybacked ack may have covered us in the meantime *)
+    if rc.need_ack || rc.expected - 1 > rc.last_acked then begin
+      let ackno = rc.expected - 1 in
+      rc.last_acked <- ackno;
+      rc.need_ack <- false;
+      Stats.Counter.incr st.c_acks_sent;
+      (* standalone acks ride the response network unsequenced: they carry
+         no protocol payload, so ordering and delivery are best-effort
+         (a lost ack is repaired by the sender's retransmission) *)
+      let m =
+        Message.make ~src:dst ~dst:src ~vnet:Message.Response
+          ~handler:ack_handler ~ack:ackno ()
+      in
+      Faults.send st.faults ~at:(Engine.now st.engine) m
+    end
+  end
+
+let deliver st msg =
+  match st.apps.(msg.Message.dst) with
+  | Some f -> f msg
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Reliable: node %d has no receiver (message src=%d dst=%d \
+            handler=%d)"
+           msg.Message.dst msg.Message.src msg.Message.dst msg.Message.handler)
+
+let on_wire st msg =
+  let s = msg.Message.src and d = msg.Message.dst in
+  if msg.Message.ack >= 0 then process_ack st ~owner:d ~peer:s msg.Message.ack;
+  if msg.Message.seq < 0 then begin
+    (* unsequenced: standalone acks (consumed here) or local short-circuit
+       traffic that bypassed the transport *)
+    if msg.Message.handler <> ack_handler then deliver st msg
+  end
+  else begin
+    let rc = rstate st ~src:s ~dst:d in
+    if msg.Message.seq < rc.expected then begin
+      (* duplicate of something already delivered (retransmit or fault
+         dup); suppress, but refresh the ack so the sender stops *)
+      Stats.Counter.incr st.c_dup_dropped;
+      rc.need_ack <- true;
+      arm_ack st ~src:s ~dst:d rc
+    end
+    else if msg.Message.seq >= rc.expected + st.window then
+      (* beyond the reassembly window: drop without acking; the sender's
+         retransmission re-offers it once the window has advanced *)
+      Stats.Counter.incr st.c_window_drops
+    else begin
+      if msg.Message.seq = rc.expected then begin
+        deliver st msg;
+        rc.expected <- rc.expected + 1;
+        let rec drain () =
+          match Hashtbl.find_opt rc.ooo rc.expected with
+          | Some m ->
+              Hashtbl.remove rc.ooo rc.expected;
+              deliver st m;
+              rc.expected <- rc.expected + 1;
+              drain ()
+          | None -> ()
+        in
+        drain ()
+      end
+      else if Hashtbl.mem rc.ooo msg.Message.seq then
+        Stats.Counter.incr st.c_dup_dropped
+      else Hashtbl.replace rc.ooo msg.Message.seq msg;
+      rc.need_ack <- true;
+      arm_ack st ~src:s ~dst:d rc
+    end
+  end
+
+let flaky_send (st : flaky) ~at msg =
+  let src = msg.Message.src and dst = msg.Message.dst in
+  if src = dst then
+    (* node-to-self messages short-circuit the network (§5.1) and are
+       neither faulted nor sequenced *)
+    Fabric.send st.fabric ~at msg
+  else begin
+    let ch = sender st ~src ~dst in
+    (* piggyback our cumulative ack for the reverse direction *)
+    let ack =
+      match st.rstates.((dst * st.nnodes) + src) with
+      | None -> -1
+      | Some rc ->
+          let ackno = rc.expected - 1 in
+          if ackno > rc.last_acked then rc.last_acked <- ackno;
+          rc.need_ack <- false;
+          ackno
+    in
+    let wire = { msg with Message.seq = ch.next_seq; ack } in
+    ch.next_seq <- ch.next_seq + 1;
+    Queue.add wire ch.unacked;
+    Stats.Counter.incr st.c_data_sent;
+    if not ch.timer_armed then arm_retx st ch;
+    Faults.send st.faults ~at wire
+  end
+
+let create ?base_rto ?rto_cap ?(max_retries = 10) ?ack_delay ?(window = 512)
+    engine fabric policy =
+  let counters = Stats.create "reliable" in
+  let flaky =
+    match policy with
+    | Perfect -> None
+    | Flaky cfg ->
+        let lat = Fabric.latency fabric in
+        let base_rto =
+          match base_rto with Some r -> r | None -> 24 * lat
+        in
+        let rto_cap =
+          match rto_cap with Some r -> r | None -> 64 * base_rto
+        in
+        let ack_delay =
+          match ack_delay with Some d -> d | None -> 2 * lat
+        in
+        if base_rto <= 0 || rto_cap < base_rto || max_retries < 1
+           || ack_delay <= 0 || window < 1
+        then invalid_arg "Reliable.create: bad transport parameters";
+        let n = Fabric.nodes fabric in
+        let st =
+          {
+            engine; fabric; faults = Faults.create cfg fabric; nnodes = n;
+            base_rto; rto_cap; max_retries; ack_delay; window;
+            senders = Array.make (n * n) None;
+            rstates = Array.make (n * n) None;
+            apps = Array.make n None;
+            c_data_sent = Stats.counter counters "reliable.data_sent";
+            c_retransmits = Stats.counter counters "reliable.retransmits";
+            c_acks_sent = Stats.counter counters "reliable.acks_sent";
+            c_dup_dropped = Stats.counter counters "reliable.dup_dropped";
+            c_window_drops = Stats.counter counters "reliable.window_drops";
+          }
+        in
+        for node = 0 to n - 1 do
+          Fabric.set_receiver fabric ~node (fun msg -> on_wire st msg)
+        done;
+        Some st
+  in
+  { fabric; policy; counters; flaky }
+
+let policy t = t.policy
+
+let send t ~at msg =
+  match t.flaky with
+  | None -> Fabric.send t.fabric ~at msg
+  | Some st -> flaky_send st ~at msg
+
+let set_receiver t ~node f =
+  match t.flaky with
+  | None -> Fabric.set_receiver t.fabric ~node f
+  | Some st ->
+      if node < 0 || node >= st.nnodes then
+        invalid_arg "Reliable.set_receiver";
+      st.apps.(node) <- Some f
+
+let stats t = t.counters
+
+let fault_stats t =
+  match t.flaky with None -> None | Some st -> Some (Faults.stats st.faults)
+
+let retransmits t =
+  match t.flaky with
+  | None -> 0
+  | Some st -> Stats.Counter.get st.c_retransmits

@@ -776,6 +776,21 @@ let check_invariants t =
                 Some (Tt_mem.Pagemem.get_tag mem ~vaddr)
               else None
           in
+          (* cross-node audit: at most one writable copy of any shared
+             block machine-wide, counting the home's own tag *)
+          let writers = ref [] in
+          if Tag.equal home_tag Tag.Read_write then writers := [ home ];
+          for n = 0 to nnodes - 1 do
+            match remote_tag n with
+            | Some Tag.Read_write -> writers := n :: !writers
+            | None | Some _ -> ()
+          done;
+          (match !writers with
+          | [] | [ _ ] -> ()
+          | ws ->
+              fail "block 0x%x: writable copies at multiple nodes (%s)" vaddr
+                (String.concat ", "
+                   (List.rev_map string_of_int ws)));
           for n = 0 to nnodes - 1 do
             match remote_tag n with
             | None | Some Tag.Invalid -> ()

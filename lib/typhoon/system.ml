@@ -7,6 +7,7 @@ module Tlb = Tt_mem.Tlb
 module Cache = Tt_cache.Cache
 module Message = Tt_net.Message
 module Fabric = Tt_net.Fabric
+module Reliable = Tt_net.Reliable
 (* Params is exposed unwrapped by tt_params *)
 module Stats = Tt_util.Stats
 
@@ -39,6 +40,7 @@ type t = {
   engine : Engine.t;
   params : Params.t;
   fabric : Fabric.t;
+  net : Reliable.t;
   tables : Tempest.Handlers.tables;
   nodes : node array;
   mutable bulk_token : int;
@@ -55,6 +57,8 @@ let nnodes t = Array.length t.nodes
 let handlers t = t.tables
 
 let fabric t = t.fabric
+
+let net t = t.net
 
 let node_of t i = t.nodes.(i)
 
@@ -94,7 +98,7 @@ let make_endpoint t node =
       Message.make ~src:node.id ~dst ~vnet ~handler ~args ~data ()
     in
     charge node (Costs.send_base + (Costs.send_per_word * Message.words msg));
-    Fabric.send t.fabric ~at:(exec_clock node) msg
+    Reliable.send t.net ~at:(exec_clock node) msg
   in
   let touch key =
     match Cache.lookup (Np.dcache node.np) ~block:key with
@@ -146,7 +150,7 @@ let make_endpoint t node =
                (Costs.bulk_packet_overhead
                + Costs.send_base
                + (Costs.send_per_word * Message.words msg));
-             Fabric.send t.fabric ~at:(Np.clock node.np) msg;
+             Reliable.send t.net ~at:(Np.clock node.np) msg;
              if off + chunk < len then enqueue_chunk (off + chunk)))
     in
     enqueue_chunk 0
@@ -281,13 +285,14 @@ let np_exec t node work =
                vaddr node.id))
   | Np.Deferred f -> f ())
 
-let create engine (p : Params.t) =
+let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
   (match Params.validate p with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Typhoon.System.create: " ^ msg));
   let prng = Tt_util.Prng.create ~seed:p.Params.seed in
   let fabric = Fabric.create engine ~nodes:p.Params.nodes ~latency:p.Params.net_latency
       ?words_per_cycle:p.Params.link_words_per_cycle () in
+  let net = Reliable.create engine fabric reliability in
   let tables = Tempest.Handlers.create () in
   let nodes =
     Array.init p.Params.nodes (fun id ->
@@ -325,14 +330,14 @@ let create engine (p : Params.t) =
         })
   in
   let t =
-    { engine; params = p; fabric; tables; nodes; bulk_token = 0;
+    { engine; params = p; fabric; net; tables; nodes; bulk_token = 0;
       bulk_completions = Hashtbl.create 16; bulk_handler_id = -1 }
   in
   Array.iter
     (fun node ->
       node.endpoint <- Some (make_endpoint t node);
       Np.set_exec node.np (np_exec t node);
-      Fabric.set_receiver fabric ~node:node.id (fun msg ->
+      Reliable.set_receiver net ~node:node.id (fun msg ->
           Np.post node.np ~at:(Engine.now engine) (Np.Message msg)))
     nodes;
   (* Built-in receive handler for bulk-transfer packets: force-write the
@@ -475,4 +480,8 @@ let merged_stats t =
   let out = Stats.create "typhoon" in
   Array.iter (fun n -> Stats.merge_into ~dst:out n.stats) t.nodes;
   Stats.merge_into ~dst:out (Fabric.stats t.fabric);
+  Stats.merge_into ~dst:out (Reliable.stats t.net);
+  (match Reliable.fault_stats t.net with
+  | Some s -> Stats.merge_into ~dst:out s
+  | None -> ());
   out

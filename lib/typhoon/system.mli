@@ -15,7 +15,8 @@
 
 type t
 
-val create : Tt_sim.Engine.t -> Params.t -> t
+val create :
+  ?reliability:Tt_net.Reliable.policy -> Tt_sim.Engine.t -> Params.t -> t
 (** Builds [params.nodes] nodes and wires the fabric.  User protocol code
     must then register its handlers via {!handlers} before any CPU thread
     touches protocol-managed pages. *)
@@ -29,6 +30,8 @@ val nnodes : t -> int
 val handlers : t -> Tempest.Handlers.tables
 
 val fabric : t -> Tt_net.Fabric.t
+
+val net : t -> Tt_net.Reliable.t
 
 val endpoint : t -> int -> Tempest.t
 

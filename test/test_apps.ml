@@ -19,7 +19,9 @@ let tiny_scale name =
   | "em3d" -> 0.04
   | _ -> 0.1
 
-let machines = [ ("dirnnb", Machine.dirnnb); ("stache", Machine.typhoon_stache ?max_stache_pages:None) ]
+let machines =
+  [ ("dirnnb", Machine.dirnnb ?reliability:None);
+    ("stache", Machine.typhoon_stache ?reliability:None ?max_stache_pages:None) ]
 
 let verified_run name (mk : Params.t -> Machine.t) =
   let machine = mk params in

@@ -3,11 +3,18 @@
 module Engine = Tt_sim.Engine
 module Message = Tt_net.Message
 module Fabric = Tt_net.Fabric
+module Faults = Tt_net.Faults
+module Reliable = Tt_net.Reliable
 module Stats = Tt_util.Stats
 
 let check_int = Alcotest.(check int)
 
 let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
 
 let msg ?(src = 0) ?(dst = 1) ?(vnet = Message.Request) ?(handler = 0)
     ?(args = [||]) ?(data = Bytes.empty) () =
@@ -91,6 +98,217 @@ let test_fabric_bad_destination () =
     Alcotest.fail "bad destination must raise"
   with Invalid_argument _ -> ()
 
+let test_fabric_no_receiver_message () =
+  (* the error fires inside the delivery event, long after the send call
+     site: it must name the message so the offender is diagnosable *)
+  let e, f = mk_fabric () in
+  Fabric.send f ~at:0 (msg ~src:0 ~dst:2 ~handler:5 ());
+  match Engine.run e with
+  | () -> Alcotest.fail "missing receiver must raise"
+  | exception Invalid_argument m ->
+      check_bool "names src" true (contains m "src=0");
+      check_bool "names dst" true (contains m "dst=2");
+      check_bool "names handler" true (contains m "handler=5")
+
+let test_fabric_bad_source () =
+  let _, f = mk_fabric ~nodes:2 () in
+  (match Fabric.send f ~at:0 (msg ~src:7 ~dst:1 ()) with
+  | () -> Alcotest.fail "bad source must raise"
+  | exception Invalid_argument m ->
+      check_bool "says bad source" true (contains m "bad source"));
+  (match Fabric.send f ~at:0 (msg ~src:(-1) ~dst:1 ()) with
+  | () -> Alcotest.fail "negative source must raise"
+  | exception Invalid_argument m ->
+      check_bool "says bad source" true (contains m "bad source"));
+  (* in bandwidth mode a bad src used to index port_free out of bounds;
+     it must now fail the same validation before touching the array *)
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 ~words_per_cycle:1 () in
+  match Fabric.send f ~at:0 (msg ~src:7 ~dst:1 ()) with
+  | () -> Alcotest.fail "bad source must raise in bandwidth mode"
+  | exception Invalid_argument m ->
+      check_bool "says bad source" true (contains m "bad source")
+
+(* Property test: the bandwidth/contention accounting agrees with an
+   independent shadow model — port_free entries are monotone, deliveries
+   never precede depart + latency, and port_wait_cycles is exactly the sum
+   of the observed waits. *)
+let test_fabric_bandwidth_property =
+  let gen =
+    QCheck.Gen.(
+      let* nodes = 2 -- 4 in
+      let* w = 1 -- 4 in
+      let* sends =
+        list_size (1 -- 40)
+          (quad (0 -- 100) (0 -- 100) (0 -- 10) (0 -- 30))
+      in
+      return (nodes, w, sends))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"bandwidth accounting matches shadow model"
+       (QCheck.make gen) (fun (nodes, w, sends) ->
+         let lat = 11 in
+         let e = Engine.create () in
+         let f = Fabric.create e ~nodes ~latency:lat ~words_per_cycle:w () in
+         let arrivals = Hashtbl.create 64 in
+         for n = 0 to nodes - 1 do
+           Fabric.set_receiver f ~node:n (fun m ->
+               Hashtbl.replace arrivals m.Message.handler (Engine.now e))
+         done;
+         let port_free = Array.make nodes 0 in
+         let expected = Hashtbl.create 64 in
+         let floors = Hashtbl.create 64 in
+         let wait_sum = ref 0 in
+         let t = ref 0 in
+         List.iteri
+           (fun i (s, d, nargs, gap) ->
+             let src = s mod nodes in
+             let dst =
+               let d = d mod nodes in
+               if d = src then (src + 1) mod nodes else d
+             in
+             t := !t + gap;
+             let at = !t in
+             let m =
+               Message.make ~src ~dst ~vnet:Message.Request ~handler:i
+                 ~args:(Array.make nargs 0) ()
+             in
+             (* shadow accounting *)
+             let occupancy = (Message.words m + w - 1) / w in
+             let depart = max at port_free.(src) in
+             assert (depart + occupancy >= port_free.(src)) (* monotone *);
+             port_free.(src) <- depart + occupancy;
+             let arrive = max (depart + lat) port_free.(dst) in
+             assert (arrive + occupancy >= port_free.(dst)) (* monotone *);
+             port_free.(dst) <- arrive + occupancy;
+             wait_sum := !wait_sum + (depart - at) + (arrive - (depart + lat));
+             Hashtbl.replace expected i (arrive + occupancy);
+             Hashtbl.replace floors i (depart + lat);
+             Fabric.send f ~at m)
+           sends;
+         Engine.run e;
+         Hashtbl.iter
+           (fun i want ->
+             let got = Hashtbl.find arrivals i in
+             if got <> want then
+               QCheck.Test.fail_reportf
+                 "message %d delivered at %d, shadow model says %d" i got want;
+             if got < Hashtbl.find floors i then
+               QCheck.Test.fail_reportf
+                 "message %d delivered at %d, before depart + latency %d" i got
+                 (Hashtbl.find floors i))
+           expected;
+         let waited = Stats.get (Fabric.stats f) "port_wait_cycles" in
+         if waited <> !wait_sum then
+           QCheck.Test.fail_reportf
+             "port_wait_cycles %d, shadow model says %d" waited !wait_sum;
+         true))
+
+(* ---------------- Faults ---------------- *)
+
+let faulty_run ~seed () =
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 () in
+  let fl =
+    Faults.create
+      (Faults.uniform ~seed ~drop:0.2 ~dup:0.1 ~reorder:0.2 ())
+      f
+  in
+  let log = ref [] in
+  Fabric.set_receiver f ~node:1 (fun m ->
+      log := (m.Message.handler, Engine.now e) :: !log);
+  Fabric.set_receiver f ~node:0 (fun _ -> ());
+  for i = 0 to 199 do
+    Faults.send fl ~at:(i * 3) (msg ~handler:i ())
+  done;
+  Engine.run e;
+  let s = Faults.stats fl in
+  ( List.rev !log,
+    Stats.get s "faults.dropped",
+    Stats.get s "faults.duplicated",
+    Stats.get s "faults.reordered" )
+
+let test_faults_reproducible () =
+  let log_a, d_a, u_a, r_a = faulty_run ~seed:42 () in
+  let log_b, d_b, u_b, r_b = faulty_run ~seed:42 () in
+  check_bool "same seed, same deliveries" true (log_a = log_b);
+  check_int "same dropped" d_a d_b;
+  check_int "same duplicated" u_a u_b;
+  check_int "same reordered" r_a r_b;
+  check_bool "faults actually injected" true (d_a > 0 && u_a > 0 && r_a > 0);
+  check_int "drops + deliveries account for every send"
+    (200 + u_a) (List.length log_a + d_a)
+
+let test_faults_full_drop () =
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 () in
+  let fl = Faults.create (Faults.uniform ~seed:1 ~drop:1.0 ()) f in
+  let got = ref 0 in
+  Fabric.set_receiver f ~node:1 (fun _ -> incr got);
+  for i = 0 to 49 do
+    Faults.send fl ~at:i (msg ~handler:i ())
+  done;
+  Engine.run e;
+  check_int "nothing delivered" 0 !got;
+  check_int "all dropped" 50 (Faults.dropped fl)
+
+(* ---------------- Reliable ---------------- *)
+
+let mk_reliable ?(nodes = 2) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
+    ?(seed = 1) ?max_retries () =
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes ~latency:11 () in
+  let cfg = Faults.uniform ~seed ~drop ~dup ~reorder () in
+  (e, Reliable.create ?max_retries e f (Reliable.Flaky cfg))
+
+let test_reliable_exactly_once_in_order () =
+  (* heavy drop + dup + reorder on both vnets: the receiver must still see
+     every message exactly once, in send order (pair FIFO spans vnets) *)
+  let e, r = mk_reliable ~drop:0.3 ~dup:0.2 ~reorder:0.3 ~seed:7 () in
+  let got = ref [] in
+  Reliable.set_receiver r ~node:1 (fun m -> got := m.Message.handler :: !got);
+  Reliable.set_receiver r ~node:0 (fun _ -> ());
+  let n = 200 in
+  for i = 0 to n - 1 do
+    let vnet = if i mod 3 = 0 then Message.Response else Message.Request in
+    Reliable.send r ~at:(i * 2) (msg ~handler:i ~vnet ())
+  done;
+  Engine.run e;
+  Alcotest.(check (list int))
+    "exactly once, in order"
+    (List.init n (fun i -> i))
+    (List.rev !got);
+  check_bool "losses were repaired by retransmission" true
+    (Reliable.retransmits r > 0)
+
+let test_reliable_link_failed () =
+  let e, r = mk_reliable ~drop:1.0 ~max_retries:3 () in
+  Reliable.set_receiver r ~node:1 (fun _ -> ());
+  Reliable.set_receiver r ~node:0 (fun _ -> ());
+  Reliable.send r ~at:0 (msg ());
+  match Engine.run e with
+  | () -> Alcotest.fail "dead link must escalate"
+  | exception Reliable.Link_failed m ->
+      check_bool "names the link" true (contains m "0->1")
+
+let test_reliable_perfect_passthrough () =
+  (* Perfect policy is an exact Fabric pass-through: same arrival time, no
+     transport envelope *)
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 () in
+  let r = Reliable.create e f Reliable.Perfect in
+  let arrival = ref (-1) and seq = ref 0 in
+  Reliable.set_receiver r ~node:1 (fun m ->
+      arrival := Engine.now e;
+      seq := m.Message.seq);
+  Reliable.send r ~at:100 (msg ());
+  Engine.run e;
+  check_int "fabric timing" 111 !arrival;
+  check_int "unsequenced" (-1) !seq;
+  check_int "no transport traffic" 0
+    (Stats.get (Reliable.stats r) "reliable.data_sent")
+
 let test_fabric_causality_clamp () =
   (* a send stamped in the past (sender clock lagging) still delivers at or
      after 'now' *)
@@ -117,7 +335,26 @@ let () =
           Alcotest.test_case "pairwise FIFO" `Quick test_fabric_pairwise_fifo;
           Alcotest.test_case "traffic stats" `Quick test_fabric_stats;
           Alcotest.test_case "missing receiver" `Quick test_fabric_no_receiver;
+          Alcotest.test_case "missing receiver names message" `Quick
+            test_fabric_no_receiver_message;
           Alcotest.test_case "bad destination" `Quick test_fabric_bad_destination;
+          Alcotest.test_case "bad source" `Quick test_fabric_bad_source;
           Alcotest.test_case "causality clamp" `Quick test_fabric_causality_clamp;
+          test_fabric_bandwidth_property;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "reproducible per seed" `Quick
+            test_faults_reproducible;
+          Alcotest.test_case "full drop" `Quick test_faults_full_drop;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "exactly once, in order" `Quick
+            test_reliable_exactly_once_in_order;
+          Alcotest.test_case "dead link escalates" `Quick
+            test_reliable_link_failed;
+          Alcotest.test_case "perfect pass-through" `Quick
+            test_reliable_perfect_passthrough;
         ] );
     ]

@@ -51,6 +51,32 @@ let test_dirnnb_roundtrip_pinned () =
   check_int "words.request" 32 (Stats.get s "words.request");
   check_int "remote_misses" 16 (Stats.get s "remote_misses")
 
+(* The same roundtrip over a faulty fabric: pins the reliable transport's
+   behaviour (sequencing, acks, retransmission) and the fault model's PRNG
+   stream.  Any change to either shifts these counters. *)
+let test_stache_flaky_roundtrip_pinned () =
+  let cfg =
+    Tt_net.Faults.uniform ~seed:2026 ~drop:0.05 ~dup:0.0125 ~reorder:0.025 ()
+  in
+  let r =
+    roundtrip (fun p ->
+        H.Machine.typhoon_stache ~reliability:(Tt_net.Reliable.Flaky cfg) p)
+  in
+  let s = r.Run.run_stats in
+  check_int "cycles" 2686 r.Run.cycles;
+  check_int "reliable.data_sent" 32 (Stats.get s "reliable.data_sent");
+  check_int "reliable.retransmits" 2 (Stats.get s "reliable.retransmits");
+  check_int "reliable.acks_sent" 18 (Stats.get s "reliable.acks_sent");
+  check_int "reliable.dup_dropped" 2 (Stats.get s "reliable.dup_dropped");
+  check_int "faults.dropped" 1 (Stats.get s "faults.dropped");
+  check_int "faults.duplicated" 1 (Stats.get s "faults.duplicated");
+  check_int "faults.reordered" 0 (Stats.get s "faults.reordered");
+  check_int "msgs.request" 17 (Stats.get s "msgs.request");
+  check_int "msgs.response" 35 (Stats.get s "msgs.response");
+  (* the protocol still does exactly the fault-free run's work *)
+  check_int "accesses" 81 (Stats.get s "accesses");
+  check_int "get_ro" 16 (Stats.get s "get_ro")
+
 (* A tiny EM3D run under the custom update protocol (the unit of Figure 4):
    covers bulk traffic, prefetch, barriers and the Stache directory. *)
 let test_em3d_update_pinned () =
@@ -83,6 +109,8 @@ let () =
             test_stache_roundtrip_pinned;
           Alcotest.test_case "dirnnb roundtrip" `Quick
             test_dirnnb_roundtrip_pinned;
+          Alcotest.test_case "stache roundtrip, flaky fabric" `Quick
+            test_stache_flaky_roundtrip_pinned;
           Alcotest.test_case "em3d update tiny" `Quick test_em3d_update_pinned;
         ] );
     ]
