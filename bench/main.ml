@@ -157,6 +157,51 @@ let bench_fig3_stache_reliable =
               (H.Machine.typhoon_stache
                  ~reliability:(Tt_net.Reliable.Flaky cfg)))))
 
+(* Ablation: the per-vnet message pool.  The same round trip with pooling
+   disabled (every send allocates a fresh record) — compare against
+   fig3_block_fetch_stache for the wall-clock cost of allocation on the
+   messaging path.  The simulated cycle counts are asserted identical by
+   [pool_timing_parity] below. *)
+let bench_ablation_message_pool =
+  Test.make ~name:"ablation_message_pool"
+    (Staged.stage (fun () ->
+         Tt_net.Message.Pool.set_disabled true;
+         Fun.protect
+           ~finally:(fun () -> Tt_net.Message.Pool.set_disabled false)
+           (fun () ->
+             ignore (fetch_round_trip (fun p -> H.Machine.typhoon_stache p)))))
+
+(* Pooling must be timing-neutral: recycling message records and bulk
+   buffers may never move a simulated event.  Run the pinned round trip
+   both ways and demand bit-identical cycle counts before benchmarking. *)
+let pool_timing_parity () =
+  let was = Tt_net.Message.Pool.is_disabled () in
+  let run disabled =
+    Tt_net.Message.Pool.set_disabled disabled;
+    Fun.protect
+      ~finally:(fun () -> Tt_net.Message.Pool.set_disabled was)
+      (fun () ->
+        let stache =
+          (fetch_round_trip (fun p -> H.Machine.typhoon_stache p)).H.Run.cycles
+        in
+        let dirnnb =
+          (fetch_round_trip (fun p -> H.Machine.dirnnb p)).H.Run.cycles
+        in
+        (stache, dirnnb))
+  in
+  let on = run false and off = run true in
+  if on <> off then begin
+    Printf.eprintf
+      "FATAL: message pooling changed simulated timing: pools on %s, off %s\n"
+      (Printf.sprintf "(stache %d, dirnnb %d)" (fst on) (snd on))
+      (Printf.sprintf "(stache %d, dirnnb %d)" (fst off) (snd off));
+    exit 1
+  end;
+  Printf.printf
+    "pool timing parity: OK (stache round trip %d cycles, dirnnb %d, \
+     identical with pooling disabled)\n\n%!"
+    (fst on) (snd on)
+
 (* Figure 4's unit: a tiny EM3D run under the update protocol. *)
 let bench_fig4 =
   let cfg =
@@ -224,7 +269,8 @@ let bench_ablation_event_queue =
 
 let benchmarks =
   [ bench_table1; bench_table2; bench_table3; bench_fig3_stache;
-    bench_fig3_dirnnb; bench_fig3_stache_reliable; bench_fig4;
+    bench_fig3_dirnnb; bench_fig3_stache_reliable;
+    bench_ablation_message_pool; bench_fig4;
     bench_ablation_effects;
     bench_ablation_sharers_pointers; bench_ablation_sharers_overflow;
     bench_ablation_event_queue ]
@@ -272,6 +318,7 @@ let run_bechamel () =
 
 let () =
   print_endline "=== Tempest & Typhoon: benchmark harness ===";
+  pool_timing_parity ();
   if not fast then reproduce_figures ()
   else print_endline "(TT_BENCH_FAST=1: skipping figure reproduction)\n";
   ablation_summary ();

@@ -46,33 +46,69 @@ let grant_upgrade = 2
    one node.  Same sequencing discipline as the Typhoon NP but fixed
    function. *)
 module Ctrl = struct
+  (* The inbox is a circular ring (power-of-two capacity) and the dispatch
+     event is one preallocated closure, so accepting and draining protocol
+     messages allocates nothing.  Messages are released back to their pool
+     after the handler runs — protocol handlers may not retain them. *)
   type t = {
     engine : Engine.t;
     mutable clock : int;
     mutable busy : bool;
-    queue : Message.t Queue.t;
+    mutable ring : Message.t array;
+    mutable head : int;
+    mutable count : int;
     mutable exec : Message.t -> unit;
+    mutable self : unit -> unit;
   }
-
-  let create engine =
-    { engine; clock = 0; busy = false; queue = Queue.create ();
-      exec = (fun _ -> invalid_arg "Ctrl: exec not installed") }
 
   let charge t n = t.clock <- t.clock + n
 
+  let grow t =
+    let cap = Array.length t.ring in
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ring = Array.make ncap Message.dummy in
+    for i = 0 to t.count - 1 do
+      ring.(i) <- t.ring.((t.head + i) land (cap - 1))
+    done;
+    t.ring <- ring;
+    t.head <- 0
+
   let rec dispatch t () =
-    match Queue.take_opt t.queue with
-    | None -> t.busy <- false
-    | Some msg ->
-        t.exec msg;
-        Engine.at t.engine t.clock (dispatch t)
+    if t.count = 0 then t.busy <- false
+    else begin
+      let msg = t.ring.(t.head) in
+      t.ring.(t.head) <- Message.dummy;
+      t.head <- (t.head + 1) land (Array.length t.ring - 1);
+      t.count <- t.count - 1;
+      t.exec msg;
+      Message.Pool.release msg;
+      (* keep draining inline while no engine event is due at or before the
+         controller clock; [skip_to] makes this observably identical to
+         rescheduling one event per message (see Np.dispatch) *)
+      if Engine.next_event_time t.engine > t.clock then begin
+        Engine.skip_to t.engine t.clock;
+        dispatch t ()
+      end
+      else Engine.at t.engine t.clock t.self
+    end
+
+  let create engine =
+    let t =
+      { engine; clock = 0; busy = false; ring = [||]; head = 0; count = 0;
+        exec = (fun _ -> invalid_arg "Ctrl: exec not installed");
+        self = (fun () -> ()) }
+    in
+    t.self <- dispatch t;
+    t
 
   let post t msg =
-    Queue.add msg t.queue;
+    if t.count = Array.length t.ring then grow t;
+    t.ring.((t.head + t.count) land (Array.length t.ring - 1)) <- msg;
+    t.count <- t.count + 1;
     if not t.busy then begin
       t.busy <- true;
       t.clock <- max t.clock (Engine.now t.engine);
-      Engine.at t.engine t.clock (dispatch t)
+      Engine.at t.engine t.clock t.self
     end
 end
 
@@ -152,7 +188,21 @@ let block_data = Bytes.make Addr.block_size '\000'
 let send t ~src ~at ~dst ~vnet ~handler ~args ~with_data =
   let data = if with_data then block_data else Bytes.empty in
   Reliable.send t.net ~at
-    (Message.make ~src ~dst ~vnet ~handler ~args ~data ())
+    (Message.Pool.acquire_raw ~src ~dst ~vnet ~handler ~args ~data)
+
+(* Arity-specific wrappers filling a shared scratch array, so protocol
+   sends build no [| ... |] literal per message ([Pool.acquire] copies the
+   scratch synchronously). *)
+let send1 t ~src ~at ~dst ~vnet ~handler ~with_data a0 =
+  let args = Message.Pool.scratch 1 in
+  args.(0) <- a0;
+  send t ~src ~at ~dst ~vnet ~handler ~args ~with_data
+
+let send2 t ~src ~at ~dst ~vnet ~handler ~with_data a0 a1 =
+  let args = Message.Pool.scratch 2 in
+  args.(0) <- a0;
+  args.(1) <- a1;
+  send t ~src ~at ~dst ~vnet ~handler ~args ~with_data
 
 (* Eviction of an exclusively-held line: hardware writeback to home. *)
 let writeback t node ~at block =
@@ -161,8 +211,8 @@ let writeback t node ~at block =
   Hashtbl.replace node.wb_inflight block
     (1 + Option.value ~default:0 (Hashtbl.find_opt node.wb_inflight block));
   let home = page_home t ~vpage:(block * Addr.block_size / Addr.page_size) in
-  send t ~src:node.id ~at ~dst:home ~vnet:Message.Request ~handler:h_writeback
-    ~args:[| block |] ~with_data:true
+  send1 t ~src:node.id ~at ~dst:home ~vnet:Message.Request
+    ~handler:h_writeback ~with_data:true block
 
 (* Fill a granted line at the requesting node's controller; returns the
    replacement cost (charged to the CPU when it resumes). *)
@@ -208,14 +258,12 @@ let deliver_grant t home ~requester block grant =
              home.id block)
   end
   else if grant = grant_upgrade then
-    send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:requester
-      ~vnet:Message.Response ~handler:h_upgrade_ok ~args:[| block |]
-      ~with_data:false
+    send1 t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:requester
+      ~vnet:Message.Response ~handler:h_upgrade_ok ~with_data:false block
   else
-    send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:requester
-      ~vnet:Message.Response ~handler:h_data
-      ~args:[| block; (if grant = grant_exclusive then 1 else 0) |]
-      ~with_data:true
+    send2 t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:requester
+      ~vnet:Message.Response ~handler:h_data ~with_data:true block
+      (if grant = grant_exclusive then 1 else 0)
 
 (* Register a sharer, honouring the limited-pointer ablation: past the
    pointer limit the entry degrades to "broadcast on invalidation". *)
@@ -304,9 +352,9 @@ let rec start_txn t home kind requester block =
               entry.Directory.busy <-
                 Some { Directory.kind; requester; acks_left = 1 };
               Ctrl.charge ctrl p.Params.dir_per_msg;
-              send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:o
-                ~vnet:Message.Request ~handler:h_recall ~args:[| block; 0 |]
-                ~with_data:false
+              send2 t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:o
+                ~vnet:Message.Request ~handler:h_recall ~with_data:false block
+                0
           | Some _ | None ->
               note_sharer t home entry requester;
               reply_data ~ex:false)
@@ -317,9 +365,9 @@ let rec start_txn t home kind requester block =
               entry.Directory.busy <-
                 Some { Directory.kind; requester; acks_left = 1 };
               Ctrl.charge ctrl p.Params.dir_per_msg;
-              send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:o
-                ~vnet:Message.Request ~handler:h_recall ~args:[| block; 1 |]
-                ~with_data:false
+              send2 t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:o
+                ~vnet:Message.Request ~handler:h_recall ~with_data:false block
+                1
           | Some _ | None ->
               let victims = inval_victims t home entry ~requester in
               if victims = [] then begin
@@ -335,9 +383,9 @@ let rec start_txn t home kind requester block =
                 List.iter
                   (fun s ->
                     Ctrl.charge ctrl p.Params.dir_per_msg;
-                    send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:s
-                      ~vnet:Message.Request ~handler:h_inval ~args:[| block |]
-                      ~with_data:false)
+                    send1 t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:s
+                      ~vnet:Message.Request ~handler:h_inval
+                      ~with_data:false block)
                   victims
               end)
       | Directory.Upgrade ->
@@ -362,9 +410,9 @@ let rec start_txn t home kind requester block =
               List.iter
                 (fun s ->
                   Ctrl.charge ctrl p.Params.dir_per_msg;
-                  send t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:s
-                    ~vnet:Message.Request ~handler:h_inval ~args:[| block |]
-                    ~with_data:false)
+                  send1 t ~src:home.id ~at:ctrl.Ctrl.clock ~dst:s
+                    ~vnet:Message.Request ~handler:h_inval ~with_data:false
+                    block)
                 victims
             end
           end)
@@ -441,9 +489,8 @@ let ctrl_exec t node msg =
       if ex then ignore (Cache.invalidate node.cache ~block)
       else Cache.downgrade node.cache ~block;
     Ctrl.charge ctrl p.Params.dir_per_msg;
-    send t ~src:node.id ~at:ctrl.Ctrl.clock ~dst:msg.Message.src
-      ~vnet:Message.Response ~handler:h_recall_data ~args:[| block |]
-      ~with_data:present
+    send1 t ~src:node.id ~at:ctrl.Ctrl.clock ~dst:msg.Message.src
+      ~vnet:Message.Response ~handler:h_recall_data ~with_data:present block
   end
   else if handler = h_inval then begin
     Stats.Counter.incr node.c_invals_received;
@@ -452,9 +499,8 @@ let ctrl_exec t node msg =
       (p.Params.remote_inval + (if present then p.Params.repl_shared else 0));
     ignore (Cache.invalidate node.cache ~block);
     Ctrl.charge ctrl p.Params.dir_per_msg;
-    send t ~src:node.id ~at:ctrl.Ctrl.clock ~dst:msg.Message.src
-      ~vnet:Message.Response ~handler:h_inval_ack ~args:[| block |]
-      ~with_data:false
+    send1 t ~src:node.id ~at:ctrl.Ctrl.clock ~dst:msg.Message.src
+      ~vnet:Message.Response ~handler:h_inval_ack ~with_data:false block
   end
   else if handler = h_recall_data then begin
     Ctrl.charge ctrl (p.Params.dir_op + p.Params.dir_block_recv);
@@ -617,9 +663,11 @@ let miss_via_directory t node th ~home ~handler block =
     Stats.Counter.incr node.c_remote_misses;
     Thread.advance th t.params.Params.remote_miss_base
   end;
+  let margs = Message.Pool.scratch 1 in
+  margs.(0) <- block;
   let msg =
-    Message.make ~src:node.id ~dst:home ~vnet:Message.Request ~handler
-      ~args:[| block |] ()
+    Message.Pool.acquire_raw ~src:node.id ~dst:home ~vnet:Message.Request
+      ~handler ~args:margs ~data:Bytes.empty
   in
   let repl =
     Thread.suspend th (fun wake ->

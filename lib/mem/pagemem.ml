@@ -178,6 +178,19 @@ let read_bytes t ~vaddr ~len =
   copy 0;
   out
 
+let read_bytes_into t ~vaddr ~dst ~dst_pos ~len =
+  let rec copy pos =
+    if pos < len then begin
+      let a = vaddr + pos in
+      let page = page_of_addr t a in
+      let off = Addr.page_offset a in
+      let chunk = min (len - pos) (Addr.page_size - off) in
+      Bytes.blit page.data off dst (dst_pos + pos) chunk;
+      copy (pos + chunk)
+    end
+  in
+  copy 0
+
 let write_bytes t ~vaddr src =
   let len = Bytes.length src in
   let rec copy pos =

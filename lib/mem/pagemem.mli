@@ -107,4 +107,9 @@ val write_block_from : t -> vaddr:int -> src:Bytes.t -> src_pos:int -> unit
 val read_bytes : t -> vaddr:int -> len:int -> Bytes.t
 (** Copy an arbitrary byte range; must not cross an unmapped page. *)
 
+val read_bytes_into :
+  t -> vaddr:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
+(** Like {!read_bytes} but into a caller-supplied buffer, without
+    allocating. *)
+
 val write_bytes : t -> vaddr:int -> Bytes.t -> unit

@@ -1,5 +1,17 @@
 module Stats = Tt_util.Stats
 
+(* In-flight messages are held in a second int-keyed heap mirroring the
+   engine's packed [(time, seq)] key, and one preallocated delivery closure
+   is scheduled per send.  When the k-th delivery event fires it pops the
+   k-th smallest inflight entry: both the engine queue and [inflight] sort
+   by (time, monotone insertion seq), so event and message pair up exactly
+   as if each send had captured its message in a fresh closure — but the
+   hot path allocates nothing. *)
+
+let seq_bits = 20
+
+let seq_limit = 1 lsl seq_bits
+
 type t = {
   engine : Tt_sim.Engine.t;
   node_count : int;
@@ -8,6 +20,9 @@ type t = {
   words_per_cycle : int option;
   port_free : int array; (* contention model: next free time per dst port *)
   receivers : (Message.t -> unit) option array;
+  inflight : Message.t Tt_util.Intheap.t;
+  mutable fseq : int;
+  mutable deliver_fn : unit -> unit; (* preallocated; set once in [create] *)
   counters : Stats.t;
   (* per-message counters, pre-resolved so [send] never builds key strings *)
   c_msgs_request : Stats.counter;
@@ -18,22 +33,44 @@ type t = {
   c_port_wait : Stats.counter;
 }
 
+let deliver t =
+  let msg = Tt_util.Intheap.pop_exn t.inflight in
+  if Tt_util.Intheap.is_empty t.inflight then t.fseq <- 0;
+  match t.receivers.(msg.Message.dst) with
+  | Some receive -> receive msg
+  | None ->
+      (* this fires inside the delivery event, long after the send call
+         site — name the message so the offender is diagnosable *)
+      invalid_arg
+        (Printf.sprintf
+           "Fabric: node %d has no receiver (message src=%d dst=%d \
+            handler=%d vnet=%s)"
+           msg.Message.dst msg.Message.src msg.Message.dst msg.Message.handler
+           (Message.vnet_to_string msg.Message.vnet))
+
 let create engine ~nodes ~latency ?(local_latency = 1) ?words_per_cycle () =
   if nodes <= 0 then invalid_arg "Fabric.create";
   (match words_per_cycle with
   | Some w when w <= 0 -> invalid_arg "Fabric.create: bad bandwidth"
   | Some _ | None -> ());
   let counters = Stats.create "network" in
-  { engine; node_count = nodes; net_latency = latency; local_latency;
-    words_per_cycle; port_free = Array.make nodes 0;
-    receivers = Array.make nodes None;
-    counters;
-    c_msgs_request = Stats.counter counters "msgs.request";
-    c_msgs_response = Stats.counter counters "msgs.response";
-    c_words_request = Stats.counter counters "words.request";
-    c_words_response = Stats.counter counters "words.response";
-    c_msgs_local = Stats.counter counters "msgs.local";
-    c_port_wait = Stats.counter counters "port_wait_cycles" }
+  let t =
+    { engine; node_count = nodes; net_latency = latency; local_latency;
+      words_per_cycle; port_free = Array.make nodes 0;
+      receivers = Array.make nodes None;
+      inflight = Tt_util.Intheap.create ~capacity:64 ~dummy:Message.dummy ();
+      fseq = 0;
+      deliver_fn = (fun () -> ());
+      counters;
+      c_msgs_request = Stats.counter counters "msgs.request";
+      c_msgs_response = Stats.counter counters "msgs.response";
+      c_words_request = Stats.counter counters "words.request";
+      c_words_response = Stats.counter counters "words.response";
+      c_msgs_local = Stats.counter counters "msgs.local";
+      c_port_wait = Stats.counter counters "port_wait_cycles" }
+  in
+  t.deliver_fn <- (fun () -> deliver t);
+  t
 
 let nodes t = t.node_count
 
@@ -44,6 +81,21 @@ let stats t = t.counters
 let set_receiver t ~node f =
   if node < 0 || node >= t.node_count then invalid_arg "Fabric.set_receiver";
   t.receivers.(node) <- Some f
+
+(* Renumber inflight entries 0..n-1 in drain order (see Engine.rebase). *)
+let rebase_inflight t =
+  let n = Tt_util.Intheap.length t.inflight in
+  let keys = Array.make n 0 and msgs = Array.make n Message.dummy in
+  for i = 0 to n - 1 do
+    keys.(i) <- Tt_util.Intheap.min_key t.inflight;
+    msgs.(i) <- Tt_util.Intheap.pop_exn t.inflight
+  done;
+  for i = 0 to n - 1 do
+    Tt_util.Intheap.push t.inflight
+      (((keys.(i) asr seq_bits) lsl seq_bits) lor i)
+      msgs.(i)
+  done;
+  t.fseq <- n
 
 let send t ~at msg =
   (* validate both endpoints up front: a bad [src] would otherwise index
@@ -90,16 +142,9 @@ let send t ~at msg =
         if waited > 0 then Stats.Counter.add t.c_port_wait waited;
         arrive + occupancy
   in
-  Tt_sim.Engine.at t.engine deliver_at (fun () ->
-      match t.receivers.(msg.Message.dst) with
-      | Some receive -> receive msg
-      | None ->
-          (* this fires inside the delivery event, long after the send call
-             site — name the message so the offender is diagnosable *)
-          invalid_arg
-            (Printf.sprintf
-               "Fabric: node %d has no receiver (message src=%d dst=%d \
-                handler=%d vnet=%s)"
-               msg.Message.dst msg.Message.src msg.Message.dst
-               msg.Message.handler
-               (Message.vnet_to_string msg.Message.vnet)))
+  if t.fseq >= seq_limit then rebase_inflight t;
+  (* schedule first: if [Engine.at] rejects the time we must not leave a
+     stale inflight entry behind *)
+  Tt_sim.Engine.at t.engine deliver_at t.deliver_fn;
+  Tt_util.Intheap.push t.inflight ((deliver_at lsl seq_bits) lor t.fseq) msg;
+  t.fseq <- t.fseq + 1

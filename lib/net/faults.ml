@@ -53,8 +53,12 @@ let send t ~at msg =
     | Message.Request -> t.config.request
     | Message.Response -> t.config.response
   in
-  if r.drop > 0.0 && Prng.chance t.prng r.drop then
-    Stats.Counter.incr t.c_dropped
+  if r.drop > 0.0 && Prng.chance t.prng r.drop then begin
+    Stats.Counter.incr t.c_dropped;
+    (* the wire's reference dies here: a dropped message never reaches a
+       receiver, so nobody downstream will release it *)
+    Message.Pool.release msg
+  end
   else begin
     let jitter =
       if r.reorder > 0.0 && Prng.chance t.prng r.reorder then begin
@@ -67,6 +71,9 @@ let send t ~at msg =
     if r.dup > 0.0 && Prng.chance t.prng r.dup then begin
       Stats.Counter.incr t.c_duplicated;
       let jitter' = 1 + Prng.int t.prng t.config.max_jitter in
+      (* the copy on the wire is a second reference; the receive path
+         releases each delivered instance independently *)
+      Message.Pool.retain msg;
       Fabric.send t.fabric ~at:(at + jitter') msg
     end
   end

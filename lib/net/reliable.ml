@@ -108,6 +108,9 @@ and on_retx_timer st ch gen =
     Queue.iter
       (fun m ->
         Stats.Counter.incr st.c_retransmits;
+        (* each resend puts one more reference on the wire; the receive
+           path releases every arriving instance independently *)
+        Message.Pool.retain m;
         Faults.send st.faults ~at:now m)
       ch.unacked;
     ch.rto <- min (2 * ch.rto) st.rto_cap;
@@ -124,7 +127,7 @@ let process_ack st ~owner ~peer ackno =
         (not (Queue.is_empty ch.unacked))
         && (Queue.peek ch.unacked).Message.seq <= ackno
       do
-        ignore (Queue.pop ch.unacked);
+        Message.Pool.release (Queue.pop ch.unacked);
         progressed := true
       done;
       if !progressed then begin
@@ -157,7 +160,7 @@ and on_ack_timer st ~src ~dst rc gen =
          no protocol payload, so ordering and delivery are best-effort
          (a lost ack is repaired by the sender's retransmission) *)
       let m =
-        Message.make ~src:dst ~dst:src ~vnet:Message.Response
+        Message.Pool.acquire ~src:dst ~dst:src ~vnet:Message.Response
           ~handler:ack_handler ~ack:ackno ()
       in
       Faults.send st.faults ~at:(Engine.now st.engine) m
@@ -174,6 +177,11 @@ let deliver st msg =
             handler=%d)"
            msg.Message.dst msg.Message.src msg.Message.dst msg.Message.handler)
 
+(* Ownership: each arriving instance carries one wire reference.  It is
+   either consumed here (ack-only, duplicate, window drop: released),
+   handed to the application via [deliver] (the dispatcher releases it
+   after the handler returns), or parked in the reassembly table (the
+   table's reference; released back to the app when drained). *)
 let on_wire st msg =
   let s = msg.Message.src and d = msg.Message.dst in
   if msg.Message.ack >= 0 then process_ack st ~owner:d ~peer:s msg.Message.ack;
@@ -181,6 +189,7 @@ let on_wire st msg =
     (* unsequenced: standalone acks (consumed here) or local short-circuit
        traffic that bypassed the transport *)
     if msg.Message.handler <> ack_handler then deliver st msg
+    else Message.Pool.release msg
   end
   else begin
     let rc = rstate st ~src:s ~dst:d in
@@ -188,13 +197,16 @@ let on_wire st msg =
       (* duplicate of something already delivered (retransmit or fault
          dup); suppress, but refresh the ack so the sender stops *)
       Stats.Counter.incr st.c_dup_dropped;
+      Message.Pool.release msg;
       rc.need_ack <- true;
       arm_ack st ~src:s ~dst:d rc
     end
-    else if msg.Message.seq >= rc.expected + st.window then
+    else if msg.Message.seq >= rc.expected + st.window then begin
       (* beyond the reassembly window: drop without acking; the sender's
          retransmission re-offers it once the window has advanced *)
-      Stats.Counter.incr st.c_window_drops
+      Stats.Counter.incr st.c_window_drops;
+      Message.Pool.release msg
+    end
     else begin
       if msg.Message.seq = rc.expected then begin
         deliver st msg;
@@ -210,8 +222,10 @@ let on_wire st msg =
         in
         drain ()
       end
-      else if Hashtbl.mem rc.ooo msg.Message.seq then
-        Stats.Counter.incr st.c_dup_dropped
+      else if Hashtbl.mem rc.ooo msg.Message.seq then begin
+        Stats.Counter.incr st.c_dup_dropped;
+        Message.Pool.release msg
+      end
       else Hashtbl.replace rc.ooo msg.Message.seq msg;
       rc.need_ack <- true;
       arm_ack st ~src:s ~dst:d rc
@@ -236,12 +250,18 @@ let flaky_send (st : flaky) ~at msg =
           rc.need_ack <- false;
           ackno
     in
-    let wire = { msg with Message.seq = ch.next_seq; ack } in
+    (* stamp the transport envelope in place: the caller has handed its
+       reference over, and nobody else can see the message yet *)
+    msg.Message.seq <- ch.next_seq;
+    msg.Message.ack <- ack;
     ch.next_seq <- ch.next_seq + 1;
-    Queue.add wire ch.unacked;
+    (* the retransmission queue holds its own reference until acked; the
+       caller's reference rides the wire *)
+    Message.Pool.retain msg;
+    Queue.add msg ch.unacked;
     Stats.Counter.incr st.c_data_sent;
     if not ch.timer_armed then arm_retx st ch;
-    Faults.send st.faults ~at wire
+    Faults.send st.faults ~at msg
   end
 
 let create ?base_rto ?rto_cap ?(max_retries = 10) ?ack_delay ?(window = 512)

@@ -63,6 +63,21 @@ let at t time fn =
 
 let after t delay fn = at t (t.now + delay) fn
 
+let next_event_time t =
+  if Tt_util.Intheap.is_empty t.events then max_int
+  else Tt_util.Intheap.min_key t.events asr seq_bits
+
+let skip_to t time =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.skip_to: target %d is before now=%d" time t.now);
+  if time > next_event_time t then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.skip_to: target %d is past the next queued event at %d" time
+         (next_event_time t));
+  t.now <- time
+
 let step t =
   if Tt_util.Intheap.is_empty t.events then false
   else begin

@@ -30,6 +30,19 @@ val after : t -> int -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of scheduled events not yet run. *)
 
+val next_event_time : t -> int
+(** Timestamp of the earliest queued event, or [max_int] when the queue is
+    empty.  Lets a dispatcher decide whether it may keep draining its own
+    work inline (see {!skip_to}) without perturbing event order. *)
+
+val skip_to : t -> int -> unit
+(** [skip_to t time] advances [now] to [time] without running any event.
+    Only valid while no queued event would fire at or before [time]
+    (i.e. [time <= next_event_time t] and [time >= now t]); this keeps the
+    clock monotone and the event order identical to scheduling a callback
+    at [time] and letting it fire.  Used by batched NP dispatch to drain
+    same-timestamp work items in one engine event. *)
+
 val run : t -> unit
 (** Execute events until none remain. *)
 

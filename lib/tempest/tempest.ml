@@ -20,6 +20,9 @@ type t = {
   send :
     dst:int -> vnet:Tt_net.Message.vnet -> handler:int ->
     ?args:int array -> ?data:Bytes.t -> unit -> unit;
+  send_raw :
+    dst:int -> vnet:Tt_net.Message.vnet -> handler:int ->
+    args:int array -> data:Bytes.t -> unit;
   bulk_transfer :
     dst:int -> src_va:int -> dst_va:int -> len:int ->
     on_complete:(unit -> unit) -> unit;

@@ -53,6 +53,14 @@ type t = {
       (** inject an active message; at the destination the registered handler
           runs on the NP.  Requests must use [vnet:Request], responses
           [vnet:Response] (deadlock avoidance, §5.1). *)
+  send_raw :
+    dst:int -> vnet:Tt_net.Message.vnet -> handler:int ->
+    args:int array -> data:Bytes.t -> unit;
+      (** [send] without the optional-argument sugar: supplying an optional
+          argument boxes it in [Some] at the call site, so protocol hot
+          paths use this form (with a {!Tt_net.Message.Pool.scratch} args
+          array and [Bytes.empty] for no data) to send without allocating
+          a single word. *)
   (* --- §2.2 bulk transfer --- *)
   bulk_transfer :
     dst:int -> src_va:int -> dst_va:int -> len:int ->

@@ -36,10 +36,32 @@ val set_exec : t -> (work -> unit) -> unit
 (** Install the handler-execution function (must be done before any
     {!post}).  Separate from {!create} to break the node/NP knot. *)
 
+val set_msg_exec : t -> (Tt_net.Message.t -> unit) -> unit
+(** Install a direct message executor, bypassing the [work] variant box
+    that the default (routing through [set_exec]'s function) would
+    allocate per message.  The executor owns the delivered message and
+    must release it (see {!Tt_net.Message.Pool}) after the handler
+    returns. *)
+
+val set_deferred_exec : t -> ((unit -> unit) -> unit) -> unit
+(** Same, for deferred chores. *)
+
 val post : t -> at:int -> work -> unit
 (** Enqueue work that becomes visible to the dispatch loop at time [at]
     (the causing bus transaction or message arrival), and start the loop if
-    the NP is idle.  Ready times must be monotone per work class. *)
+    the NP is idle.  Ready times must be monotone per work class.
+
+    Work items sharing a timestamp drain in a single engine event: after
+    each handler the loop continues inline whenever no other engine event
+    is due at or before the NP clock (via {!Tt_sim.Engine.skip_to}), which
+    is observably identical to the one-event-per-item schedule. *)
+
+val post_message : t -> at:int -> Tt_net.Message.t -> unit
+(** [post t ~at (Message m)] without allocating the variant box; the
+    message lands on the ring matching its virtual network. *)
+
+val post_deferred : t -> at:int -> (unit -> unit) -> unit
+(** [post t ~at (Deferred f)] without allocating the variant box. *)
 
 val clock : t -> int
 

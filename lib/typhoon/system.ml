@@ -13,6 +13,37 @@ module Stats = Tt_util.Stats
 
 type executor = Np_ctx | Cpu_ctx of Thread.t
 
+(* Fixed-size stack of recycled buffers of one length (32-byte cache
+   blocks, 64-byte bulk packets).  An array stack, not a list: pushing a
+   cons cell would allocate on every recycle and defeat the point. *)
+type bufpool = { bufs : Bytes.t array; mutable n : int }
+
+let pool_make cap = { bufs = Array.make cap Bytes.empty; n = 0 }
+
+let pool_take p size =
+  if p.n > 0 then begin
+    p.n <- p.n - 1;
+    let b = p.bufs.(p.n) in
+    p.bufs.(p.n) <- Bytes.empty;
+    b
+  end
+  else Bytes.create size
+
+let pool_put p b =
+  if Tt_util.Debug.pool_debug () then begin
+    (* a buffer released twice would be handed to two owners and silently
+       corrupt one of them; scan the pool and fail loudly instead *)
+    for i = 0 to p.n - 1 do
+      if p.bufs.(i) == b then
+        invalid_arg "recycle_block: buffer released twice"
+    done;
+    Bytes.fill b 0 (Bytes.length b) '\xde'
+  end;
+  if p.n < Array.length p.bufs then begin
+    p.bufs.(p.n) <- b;
+    p.n <- p.n + 1
+  end
+
 type node = {
   id : int;
   mem : Pagemem.t;
@@ -26,15 +57,20 @@ type node = {
   c_local_misses : Stats.counter;
   c_block_faults : Stats.counter;
   c_page_faults : Stats.counter;
-  (* free list of 32-byte block buffers recycled from consumed messages so
-     [force_read_block] does not allocate per block transfer *)
-  mutable block_pool : Bytes.t list;
-  mutable block_pool_len : int;
+  (* recycled 32-byte block buffers so [force_read_block] does not
+     allocate per block transfer, and recycled 64-byte packet buffers for
+     [bulk_transfer] chunks *)
+  block_pool : bufpool;
+  bulk_pool : bufpool;
   mutable ctx : executor;
   mutable endpoint : Tempest.t option;
 }
 
 let block_pool_cap = 64
+
+let bulk_pool_cap = 64
+
+let bulk_chunk_size = 64
 
 type t = {
   engine : Engine.t;
@@ -92,13 +128,30 @@ let exec_clock node =
 let rtlb_access node vaddr =
   charge node (Tlb.access (Np.rtlb node.np) (Addr.page_of vaddr))
 
+(* Reject a bulk source/destination range that is (partly) unmapped now,
+   at the call site, instead of cycles later inside a deferred chore with a
+   baffling backtrace. *)
+let check_bulk_range mem ~what ~va ~len =
+  if va < 0 then
+    invalid_arg (Printf.sprintf "bulk_transfer: negative %s 0x%x" what va);
+  for vpage = Addr.page_of va to Addr.page_of (va + len - 1) do
+    if not (Pagemem.is_mapped mem ~vpage) then
+      invalid_arg
+        (Printf.sprintf
+           "bulk_transfer: %s range [0x%x,0x%x) crosses unmapped page %d"
+           what va (va + len) vpage)
+  done
+
 let make_endpoint t node =
-  let send ~dst ~vnet ~handler ?(args = [||]) ?(data = Bytes.empty) () =
+  let send_raw ~dst ~vnet ~handler ~args ~data =
     let msg =
-      Message.make ~src:node.id ~dst ~vnet ~handler ~args ~data ()
+      Message.Pool.acquire_raw ~src:node.id ~dst ~vnet ~handler ~args ~data
     in
     charge node (Costs.send_base + (Costs.send_per_word * Message.words msg));
     Reliable.send t.net ~at:(exec_clock node) msg
+  in
+  let send ~dst ~vnet ~handler ?(args = [||]) ?(data = Bytes.empty) () =
+    send_raw ~dst ~vnet ~handler ~args ~data
   in
   let touch key =
     match Cache.lookup (Np.dcache node.np) ~block:key with
@@ -127,33 +180,55 @@ let make_endpoint t node =
   in
   let bulk_transfer ~dst ~src_va ~dst_va ~len ~on_complete =
     if len <= 0 then invalid_arg "bulk_transfer: non-positive length";
+    if dst < 0 || dst >= Array.length t.nodes then
+      invalid_arg
+        (Printf.sprintf "bulk_transfer: bad destination node %d (%d nodes)"
+           dst (Array.length t.nodes));
+    check_bulk_range node.mem ~what:"src_va" ~va:src_va ~len;
+    check_bulk_range t.nodes.(dst).mem ~what:"dst_va" ~va:dst_va ~len;
     let token = t.bulk_token in
     t.bulk_token <- t.bulk_token + 1;
     Hashtbl.replace t.bulk_completions token on_complete;
-    (* Packetize 64 bytes at a time; packets are generated as deferred NP
-       work so the transfer overlaps computation and yields to message
-       handling (§5.2). *)
-    let rec enqueue_chunk off =
-      Np.post node.np ~at:(exec_clock node)
-        (Np.Deferred
-           (fun () ->
-             let chunk = min 64 (len - off) in
-             let data = Pagemem.read_bytes node.mem ~vaddr:(src_va + off) ~len:chunk in
-             let last = if off + chunk >= len then 1 else 0 in
-             let msg =
-               Message.make ~src:node.id ~dst ~vnet:Message.Request
-                 ~handler:t.bulk_handler_id
-                 ~args:[| dst_va + off; token; last |]
-                 ~data ()
-             in
-             Np.charge node.np
-               (Costs.bulk_packet_overhead
-               + Costs.send_base
-               + (Costs.send_per_word * Message.words msg));
-             Reliable.send t.net ~at:(Np.clock node.np) msg;
-             if off + chunk < len then enqueue_chunk (off + chunk)))
+    (* Packetize [bulk_chunk_size] bytes at a time; packets are generated
+       as deferred NP work so the transfer overlaps computation and yields
+       to message handling (§5.2).  One chore closure carries the whole
+       transfer, re-posting itself per packet; full-size chunks draw their
+       buffer from the node's bulk pool (the receive handler recycles
+       them), short tails are allocated at their exact size so the packet's
+       word count — and thus its timing — is unchanged. *)
+    let off = ref 0 in
+    let rec chore () =
+      try
+        let chunk = min bulk_chunk_size (len - !off) in
+        let data =
+          if chunk = bulk_chunk_size then pool_take node.bulk_pool chunk
+          else Bytes.create chunk
+        in
+        Pagemem.read_bytes_into node.mem ~vaddr:(src_va + !off) ~dst:data
+          ~dst_pos:0 ~len:chunk;
+        let last = if !off + chunk >= len then 1 else 0 in
+        let args = Message.Pool.scratch 3 in
+        args.(0) <- dst_va + !off;
+        args.(1) <- token;
+        args.(2) <- last;
+        let msg =
+          Message.Pool.acquire_raw ~src:node.id ~dst ~vnet:Message.Request
+            ~handler:t.bulk_handler_id ~args ~data
+        in
+        Np.charge node.np
+          (Costs.bulk_packet_overhead
+          + Costs.send_base
+          + (Costs.send_per_word * Message.words msg));
+        Reliable.send t.net ~at:(Np.clock node.np) msg;
+        off := !off + chunk;
+        if !off < len then Np.post_deferred node.np ~at:(Np.clock node.np) chore
+      with e ->
+        (* a failed transfer must not leave its completion behind: nothing
+           would ever fire or drop it *)
+        Hashtbl.remove t.bulk_completions token;
+        raise e
     in
-    enqueue_chunk 0
+    Np.post_deferred node.np ~at:(exec_clock node) chore
   in
   {
     Tempest.node = node.id;
@@ -161,6 +236,7 @@ let make_endpoint t node =
     charge = (fun n -> charge node n);
     touch;
     send;
+    send_raw;
     bulk_transfer;
     map_page;
     unmap_page;
@@ -196,14 +272,7 @@ let make_endpoint t node =
       (fun ~vaddr ->
         rtlb_access node vaddr;
         charge node Costs.force_block;
-        let buf =
-          match node.block_pool with
-          | b :: rest ->
-              node.block_pool <- rest;
-              node.block_pool_len <- node.block_pool_len - 1;
-              b
-          | [] -> Bytes.create Addr.block_size
-        in
+        let buf = pool_take node.block_pool Addr.block_size in
         Pagemem.read_block_into node.mem ~vaddr ~dst:buf ~dst_pos:0;
         buf);
     force_write_block =
@@ -216,13 +285,9 @@ let make_endpoint t node =
         Pagemem.write_block node.mem ~vaddr data);
     recycle_block =
       (fun b ->
-        if
-          Bytes.length b = Addr.block_size
-          && node.block_pool_len < block_pool_cap
-        then begin
-          node.block_pool <- b :: node.block_pool;
-          node.block_pool_len <- node.block_pool_len + 1
-        end);
+        let len = Bytes.length b in
+        if len = Addr.block_size then pool_put node.block_pool b
+        else if len = bulk_chunk_size then pool_put node.bulk_pool b);
     force_read_i64 =
       (fun ~vaddr ->
         rtlb_access node vaddr;
@@ -251,16 +316,35 @@ let make_endpoint t node =
         Tempest.fire r);
   }
 
+let np_prologue node =
+  node.ctx <- Np_ctx;
+  Np.charge node.np Costs.dispatch
+
+(* Execute one delivered message: dispatch to the registered user handler,
+   then return the message to its pool — a handler may read the message
+   only for the duration of the call. *)
+let np_msg_exec t node (msg : Message.t) =
+  np_prologue node;
+  let ep = Option.get node.endpoint in
+  let handler = Tempest.Handlers.message t.tables msg.Message.handler in
+  handler ep ~src:msg.Message.src ~args:msg.Message.args
+    ~data:msg.Message.data;
+  Message.Pool.release msg
+
+let np_deferred_exec node f =
+  np_prologue node;
+  f ()
+
 (* Execute one NP work item: dispatch to the registered user handler. *)
 let np_exec t node work =
-  node.ctx <- Np_ctx;
-  Np.charge node.np Costs.dispatch;
+  np_prologue node;
   let ep = Option.get node.endpoint in
   (match work with
   | Np.Message msg ->
       let handler = Tempest.Handlers.message t.tables msg.Message.handler in
       handler ep ~src:msg.Message.src ~args:msg.Message.args
-        ~data:msg.Message.data
+        ~data:msg.Message.data;
+      Message.Pool.release msg
   | Np.Block_fault fault ->
       Stats.Counter.incr node.c_block_faults;
       (match
@@ -323,8 +407,8 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
           c_local_misses = Stats.counter stats "local_misses";
           c_block_faults = Stats.counter stats "block_faults";
           c_page_faults = Stats.counter stats "page_faults";
-          block_pool = [];
-          block_pool_len = 0;
+          block_pool = pool_make block_pool_cap;
+          bulk_pool = pool_make bulk_pool_cap;
           ctx = Np_ctx;
           endpoint = None;
         })
@@ -337,8 +421,10 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
     (fun node ->
       node.endpoint <- Some (make_endpoint t node);
       Np.set_exec node.np (np_exec t node);
+      Np.set_msg_exec node.np (np_msg_exec t node);
+      Np.set_deferred_exec node.np (np_deferred_exec node);
       Reliable.set_receiver net ~node:node.id (fun msg ->
-          Np.post node.np ~at:(Engine.now engine) (Np.Message msg)))
+          Np.post_message node.np ~at:(Engine.now engine) msg))
     nodes;
   (* Built-in receive handler for bulk-transfer packets: force-write the
      data at the destination address; the last packet fires the completion
@@ -361,6 +447,9 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
       ep.Tempest.charge (Bytes.length data / 4);
       Pagemem.write_bytes (node_mem t ep.Tempest.node) ~vaddr:dst_va data
     end;
+    (* the packet's payload buffer is fully consumed: recycle it into this
+       node's bulk pool for outgoing transfers *)
+    ep.Tempest.recycle_block data;
     if last = 1 then begin
       match Hashtbl.find_opt t.bulk_completions token with
       | Some complete ->

@@ -5,3 +5,13 @@ let target =
 
 let log ~key fmt =
   Printf.ksprintf (fun msg -> if target = Some key then prerr_endline msg) fmt
+
+let pool_debug_flag =
+  ref
+    (match Sys.getenv_opt "TT_POOL_DEBUG" with
+    | Some ("1" | "true") -> true
+    | Some _ | None -> false)
+
+let set_pool_debug b = pool_debug_flag := b
+
+let pool_debug () = !pool_debug_flag

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Timing-neutrality gate for the message/buffer pools.
+#
+# Runs the full test suite twice — pools enabled, then with
+# TT_POOL_DISABLE=1 (every send allocates a fresh record) — so the pinned
+# simulated-cycle regression rows in test_regression.ml are checked under
+# both configurations.  Any divergence fails the corresponding pinned
+# test: pooling recycles records, it must never move an event.
+#
+# The bench harness enforces the same invariant in-process
+# (pool_timing_parity in bench/main.ml) and records the pool ablation as
+# ablation_message_pool in BENCH_RESULTS.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== pools enabled =="
+dune runtest --force
+
+echo "== pools disabled (TT_POOL_DISABLE=1) =="
+TT_POOL_DISABLE=1 dune runtest --force
+
+echo "pool timing parity: both runs green (pinned cycle rows identical)"

@@ -1,3 +1,7 @@
+(* Whole-suite invariant: pool-debug mode poisons released pool buffers
+   and rejects double-release (satellite of the zero-allocation PR). *)
+let () = Tt_util.Debug.set_pool_debug true
+
 (* Tests for the discrete-event engine, effect-based threads, barriers and
    locks. *)
 

@@ -1,3 +1,7 @@
+(* Whole-suite invariant: pool-debug mode poisons released pool buffers
+   and rejects double-release (satellite of the zero-allocation PR). *)
+let () = Tt_util.Debug.set_pool_debug true
+
 (* Unit and property tests for tt_util: PRNG, heap, vector, bit set,
    statistics, table formatting. *)
 
