@@ -306,10 +306,33 @@ let faults_cmd =
       & opt (list int) [ 1; 2; 3 ]
       & info [ "seeds" ] ~doc:"Comma-separated fault-model seeds.")
   in
-  let run apps machine drops seeds nodes scale =
-    let drops = List.map (fun pct -> pct /. 100.0) drops in
+  let req_drop_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-drop" ]
+          ~doc:
+            "Drop rate for request-network traffic only, in percent \
+             (overrides the $(b,--drops) axis on that vnet; dup/reorder \
+             rates follow it).")
+  in
+  let resp_drop_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "response-drop" ]
+          ~doc:
+            "Drop rate for response-network traffic only, in percent \
+             (overrides the $(b,--drops) axis on that vnet; dup/reorder \
+             rates follow it).")
+  in
+  let run apps machine drops seeds request_drop response_drop nodes scale =
+    let pct = Option.map (fun p -> p /. 100.0) in
+    let drops = List.map (fun p -> p /. 100.0) drops in
     let points =
-      H.Faultsweep.run ~apps ~machine ~drops ~seeds ~scale ~nodes ()
+      H.Faultsweep.run ~apps ~machine ~drops ~seeds
+        ?request_drop:(pct request_drop) ?response_drop:(pct response_drop)
+        ~scale ~nodes ()
     in
     print_string (H.Faultsweep.render points);
     print_newline ();
@@ -336,7 +359,172 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ apps_t $ machine_t $ drops_t $ seeds_t $ nodes_t $ scale_t)
+      const run $ apps_t $ machine_t $ drops_t $ seeds_t $ req_drop_t
+      $ resp_drop_t $ nodes_t $ scale_t)
+
+(* --- tt torture --- *)
+
+let torture_cmd =
+  let module T = Tt_torture.Torture in
+  let module L = Tt_torture.Litmus in
+  let litmus_t =
+    Arg.(
+      value
+      & opt (list (enum (List.map (fun n -> (n, n)) L.names))) L.names
+      & info [ "litmus" ]
+          ~doc:"Comma-separated litmus shapes (default: all).")
+  in
+  let machines_t =
+    Arg.(
+      value
+      & opt (list (enum (List.map (fun n -> (n, n)) T.machines))) T.machines
+      & info [ "machines" ] ~doc:"Comma-separated machines (default: both).")
+  in
+  let drops_t =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 5.0 ]
+      & info [ "drops" ]
+          ~doc:
+            "Comma-separated drop rates in percent (0 = perfect transport).")
+  in
+  let seeds_t =
+    Arg.(
+      value
+      & opt (list int) T.default_seeds
+      & info [ "seeds" ] ~doc:"Comma-separated seeds.")
+  in
+  let iters_t =
+    Arg.(
+      value & opt int 4
+      & info [ "iters" ] ~doc:"Litmus iterations per case.")
+  in
+  let perturb_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "perturb-rate" ]
+          ~doc:
+            "Probability that a scheduling decision gets a non-FIFO \
+             tie-break salt (0 disables perturbation).")
+  in
+  let no_shrink_t =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report violations without shrinking.")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the default smoke grid (all litmus shapes x both machines \
+             x {perfect, 5% drop} x 8 seeds), overriding any grid-axis \
+             flags.  This is also the default when no axis flags are given; \
+             the flag pins the grid for scripted gates.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt string "torture-repro.txt"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the shrunk reproducer artifact.")
+  in
+  let table_t =
+    Arg.(
+      value & flag
+      & info [ "table" ] ~doc:"Print the full per-case result table.")
+  in
+  let replay_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a reproducer artifact instead of running the grid; \
+             exits 0 when the recorded violation reproduces.")
+  in
+  let run litmus machines drops seeds iters perturb_rate no_shrink smoke out
+      table replay =
+    let litmus, machines, drops, seeds, iters, perturb_rate =
+      if smoke then
+        (L.names, T.machines, [ 0.0; 5.0 ], T.default_seeds, 4, 0.25)
+      else (litmus, machines, drops, seeds, iters, perturb_rate)
+    in
+    match replay with
+    | Some path ->
+        let case, expected, r = T.replay path in
+        Printf.printf "replaying %s: %s on %s, expecting a %s violation\n"
+          path case.T.litmus case.T.machine
+          (T.kind_to_string expected);
+        (match r.T.outcome with
+        | T.Fail v when v.T.kind = expected ->
+            Printf.printf "reproduced: [%s] %s\n" (T.kind_to_string v.T.kind)
+              v.T.detail
+        | T.Fail v ->
+            Printf.printf
+              "DIVERGED: got [%s] %s instead of the recorded [%s]\n"
+              (T.kind_to_string v.T.kind) v.T.detail
+              (T.kind_to_string expected);
+            exit 1
+        | T.Pass ->
+            Printf.printf "DID NOT REPRODUCE: the replay passed\n";
+            exit 1)
+    | None ->
+        let drops = List.map (fun p -> p /. 100.0) drops in
+        let cases =
+          T.grid ~litmus ~machines ~drops ~seeds ~iters ~perturb_rate ()
+        in
+        let results = T.run_grid cases in
+        let failed = T.failures results in
+        if table then print_string (T.render results)
+        else if failed <> [] then print_string (T.render failed);
+        Printf.printf
+          "torture grid: %d cases (%d litmus x %d machines x %d drops x %d \
+           seeds), %d passed, %d violations\n"
+          (List.length results) (List.length litmus) (List.length machines)
+          (List.length drops) (List.length seeds)
+          (List.length results - List.length failed)
+          (List.length failed);
+        if failed <> [] then begin
+          (match failed with
+          | (c, _) :: _ when not no_shrink -> (
+              Printf.printf "shrinking the first violating case (%s on %s)…\n%!"
+                c.T.litmus c.T.machine;
+              match T.shrink c with
+              | Error msg -> Printf.printf "shrink failed: %s\n" msg
+              | Ok s ->
+                  Printf.printf
+                    "shrunk: %d -> %d fault sites, %d -> %d perturbation \
+                     sites, %d -> %d iterations\n"
+                    s.T.s_fault_before s.T.s_fault_after s.T.s_perturb_before
+                    s.T.s_perturb_after s.T.s_iters_before s.T.s_case.T.iters;
+                  Printf.printf "violation: [%s] %s\n"
+                    (T.kind_to_string s.T.s_violation.T.kind)
+                    s.T.s_violation.T.detail;
+                  T.write_artifact out s;
+                  Printf.printf "reproducer written to %s\n" out;
+                  let _, expected, r = T.replay out in
+                  (match r.T.outcome with
+                  | T.Fail v when v.T.kind = expected ->
+                      Printf.printf
+                        "replay verified: tt torture --replay %s reproduces \
+                         the violation\n"
+                        out
+                  | _ -> Printf.printf "WARNING: replay did not reproduce\n"))
+          | _ -> ());
+          exit 1
+        end
+  in
+  let doc =
+    "Consistency torture: run the litmus grid (SB/MP/LB/CoRR/CoWW/IRIW/LOCK \
+     x machines x transports x seeds) under schedule perturbation and fault \
+     injection, check every outcome against the SC oracle, and shrink any \
+     violation to a minimal deterministic reproducer."
+  in
+  Cmd.v (Cmd.info "torture" ~doc)
+    Term.(
+      const run $ litmus_t $ machines_t $ drops_t $ seeds_t $ iters_t
+      $ perturb_t $ no_shrink_t $ smoke_t $ out_t $ table_t $ replay_t)
 
 let list_cmd =
   let run () =
@@ -352,4 +540,4 @@ let () =
   let info = Cmd.info "tt" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; fig3_cmd; fig4_cmd; tables_cmd; ablations_cmd; sweep_cmd;
-         faults_cmd; verify_cmd; list_cmd ]))
+         faults_cmd; torture_cmd; verify_cmd; list_cmd ]))

@@ -33,14 +33,23 @@ let make_machine ~machine ?reliability params =
            (String.concat "|" machines))
 
 (* A drop rate implies correlated dup/reorder rates so one sweep axis
-   exercises the whole fault taxonomy. *)
-let config_of ~drop ~seed =
-  Faults.uniform ~seed ~drop ~dup:(drop /. 4.0) ~reorder:(drop /. 2.0) ()
+   exercises the whole fault taxonomy.  Per-vnet overrides replace the
+   axis rate for that vnet only; the taxonomy still follows each vnet's
+   effective drop rate, so an asymmetric grid cell (lossy requests under
+   clean responses, or vice versa) keeps the same fault mix per vnet. *)
+let config_of ?request_drop ?response_drop ~drop ~seed () =
+  let rates d =
+    { Faults.drop = d; dup = d /. 4.0; reorder = d /. 2.0 }
+  in
+  let req = Option.value request_drop ~default:drop in
+  let resp = Option.value response_drop ~default:drop in
+  Faults.per_vnet ~seed ~request:(rates req) ~response:(rates resp) ()
 
 let total_msgs stats =
   Stats.get stats "msgs.request" + Stats.get stats "msgs.response"
 
-let run_app ~machine ~name ~size ~scale ~nodes ~drops ~seeds =
+let run_app ?request_drop ?response_drop ~machine ~name ~size ~scale ~nodes
+    ~drops ~seeds () =
   let params = { Params.default with Params.nodes } in
   (* fault-free baseline: the oracle every faulty run must match, and the
      yardstick for the watchdog budgets *)
@@ -56,7 +65,10 @@ let run_app ~machine ~name ~size ~scale ~nodes ~drops ~seeds =
     (fun drop ->
       List.map
         (fun seed ->
-          let reliability = Reliable.Flaky (config_of ~drop ~seed) in
+          let reliability =
+            Reliable.Flaky
+              (config_of ?request_drop ?response_drop ~drop ~seed ())
+          in
           let m = make_machine ~machine ~reliability params in
           let watchdog =
             Watchdog.create
@@ -104,10 +116,12 @@ let run_app ~machine ~name ~size ~scale ~nodes ~drops ~seeds =
     drops
 
 let run ?(apps = Catalog.names) ?(machine = "stache")
-    ?(drops = [ 0.01; 0.05 ]) ?(seeds = [ 1; 2; 3 ]) ?(size = Catalog.Small)
-    ?(scale = 0.25) ?(nodes = 8) () =
+    ?(drops = [ 0.01; 0.05 ]) ?(seeds = [ 1; 2; 3 ]) ?request_drop
+    ?response_drop ?(size = Catalog.Small) ?(scale = 0.25) ?(nodes = 8) () =
   List.concat_map
-    (fun name -> run_app ~machine ~name ~size ~scale ~nodes ~drops ~seeds)
+    (fun name ->
+      run_app ?request_drop ?response_drop ~machine ~name ~size ~scale ~nodes
+        ~drops ~seeds ())
     apps
 
 let all_passed points =

@@ -30,16 +30,25 @@ type point = {
 val machines : string list
 (** Accepted machine names: ["stache"], ["dirnnb"], ["update"]. *)
 
-val config_of : drop:float -> seed:int -> Tt_net.Faults.config
+val config_of :
+  ?request_drop:float -> ?response_drop:float -> drop:float -> seed:int ->
+  unit -> Tt_net.Faults.config
 (** The sweep's fault taxonomy for one grid cell: drop at the given rate,
-    duplicate at a quarter of it, reorder at half of it, on both vnets. *)
+    duplicate at a quarter of it, reorder at half of it, on both vnets.
+    [request_drop]/[response_drop] override the drop rate for that vnet
+    only (the per-vnet dup/reorder rates follow the vnet's effective drop
+    rate), giving asymmetric cells such as a lossy request network under a
+    clean response network. *)
 
 val run :
   ?apps:string list -> ?machine:string -> ?drops:float list ->
-  ?seeds:int list -> ?size:Catalog.size -> ?scale:float -> ?nodes:int ->
+  ?seeds:int list -> ?request_drop:float -> ?response_drop:float ->
+  ?size:Catalog.size -> ?scale:float -> ?nodes:int ->
   unit -> point list
 (** Defaults: all catalog apps, machine ["stache"], drops [[0.01; 0.05]],
-    seeds [[1; 2; 3]], small data sets at scale 0.25 on 8 nodes. *)
+    seeds [[1; 2; 3]], small data sets at scale 0.25 on 8 nodes.
+    [request_drop]/[response_drop] apply the same per-vnet override to
+    every grid cell (the [drops] axis still sets the other vnet's rate). *)
 
 val all_passed : point list -> bool
 

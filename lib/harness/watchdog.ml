@@ -21,14 +21,8 @@ let create ?max_cycles ?max_retransmits ?(check_interval = 10_000) () =
   { max_cycles; max_retransmits; check_interval }
 
 let drive t engine ~retransmits =
-  let rec loop target =
-    let target =
-      match t.max_cycles with
-      | Some budget -> min target budget
-      | None -> target
-    in
-    let drained = Engine.run_until engine ~limit:target in
-    (match t.max_retransmits with
+  let check_retransmits ~completed =
+    match t.max_retransmits with
     | Some budget ->
         let r = retransmits () in
         if r > budget then
@@ -36,18 +30,32 @@ let drive t engine ~retransmits =
             (Expired
                (Printf.sprintf
                   "watchdog: retransmission budget exceeded (%d > %d) at \
-                   cycle %d — livelocked link?"
-                  r budget (Engine.now engine)))
-    | None -> ());
-    if not drained then begin
+                   cycle %d with %d events pending%s — livelocked link?"
+                  r budget (Engine.now engine) (Engine.pending engine)
+                  (if completed then " (run completed)" else "")))
+    | None -> ()
+  in
+  let rec loop target =
+    let target =
+      match t.max_cycles with
+      | Some budget -> min target budget
+      | None -> target
+    in
+    let drained = Engine.run_until engine ~limit:target in
+    if drained then
+      (* final drain-time check: a budget blown during the last partial
+         slice of a completed run must still be reported *)
+      check_retransmits ~completed:true
+    else begin
+      check_retransmits ~completed:false;
       (match t.max_cycles with
       | Some budget when target >= budget ->
           raise
             (Expired
                (Printf.sprintf
                   "watchdog: simulated-cycle budget %d exceeded with %d \
-                   events still pending"
-                  budget (Engine.pending engine)))
+                   events still pending and %d retransmissions so far"
+                  budget (Engine.pending engine) (retransmits ())))
       | Some _ | None -> ());
       loop (target + t.check_interval)
     end

@@ -22,5 +22,8 @@ val create :
 
 val drive : t -> Tt_sim.Engine.t -> retransmits:(unit -> int) -> unit
 (** Run the engine to completion in [check_interval]-sized slices,
-    re-checking budgets between slices.  @raise Expired on a blown
-    budget. *)
+    re-checking budgets between slices and once more when the engine
+    drains, so a retransmit budget blown during the final partial slice
+    of a completed run is still reported.  Both {!Expired} messages
+    include the current retransmit count and the number of pending
+    events.  @raise Expired on a blown budget. *)

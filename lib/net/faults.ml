@@ -17,6 +17,13 @@ let uniform ?(seed = 0x7700) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
   let r = { drop; dup; reorder } in
   { seed; request = r; response = r; max_jitter }
 
+let per_vnet ?(seed = 0x7700) ?(max_jitter = 40) ~request ~response () =
+  { seed; request; response; max_jitter }
+
+type decision = { dropped : bool; reorder_jitter : int; dup_jitter : int }
+
+let deliver = { dropped = false; reorder_jitter = 0; dup_jitter = 0 }
+
 type t = {
   fabric : Fabric.t;
   prng : Prng.t;
@@ -25,6 +32,8 @@ type t = {
   c_dropped : Stats.counter;
   c_duplicated : Stats.counter;
   c_reordered : Stats.counter;
+  mutable tap : (site:int -> decision -> decision) option;
+  mutable site : int;
 }
 
 let create config fabric =
@@ -37,43 +46,70 @@ let create config fabric =
     c_dropped = Stats.counter counters "faults.dropped";
     c_duplicated = Stats.counter counters "faults.duplicated";
     c_reordered = Stats.counter counters "faults.reordered";
+    tap = None;
+    site = 0;
   }
 
 let stats t = t.counters
 
 let dropped t = Stats.Counter.get t.c_dropped
 
-(* The PRNG draw sequence per send is fixed (drop, then reorder, then dup
-   on surviving messages), so a given seed yields a bit-reproducible fault
-   pattern for a given traffic sequence — and since the simulation itself
-   is deterministic, for a given (seed, config) pair entirely. *)
+let set_tap t tap = t.tap <- tap
+
+let sites t = t.site
+
+(* The PRNG draw sequence per send is fixed — see the .mli contract:
+   (1) drop chance; a dropped message draws nothing further; surviving
+   messages draw (2) reorder chance, (3) reorder jitter iff (2) hit,
+   (4) dup chance, (5) dup jitter iff (4) hit — so a given seed yields a
+   bit-reproducible fault pattern for a given traffic sequence, and since
+   the simulation itself is deterministic, for a given (seed, config) pair
+   entirely.  The tap (if any) observes the drawn decision and may replace
+   it; the PRNG stream is consumed identically either way, so masking or
+   replaying decisions never shifts later draws. *)
 let send t ~at msg =
   let r =
     match msg.Message.vnet with
     | Message.Request -> t.config.request
     | Message.Response -> t.config.response
   in
-  if r.drop > 0.0 && Prng.chance t.prng r.drop then begin
+  let natural =
+    if r.drop > 0.0 && Prng.chance t.prng r.drop then
+      { dropped = true; reorder_jitter = 0; dup_jitter = 0 }
+    else begin
+      let reorder_jitter =
+        if r.reorder > 0.0 && Prng.chance t.prng r.reorder then
+          1 + Prng.int t.prng t.config.max_jitter
+        else 0
+      in
+      let dup_jitter =
+        if r.dup > 0.0 && Prng.chance t.prng r.dup then
+          1 + Prng.int t.prng t.config.max_jitter
+        else 0
+      in
+      { dropped = false; reorder_jitter; dup_jitter }
+    end
+  in
+  let d =
+    match t.tap with
+    | None -> natural
+    | Some f -> f ~site:t.site natural
+  in
+  t.site <- t.site + 1;
+  if d.dropped then begin
     Stats.Counter.incr t.c_dropped;
     (* the wire's reference dies here: a dropped message never reaches a
        receiver, so nobody downstream will release it *)
     Message.Pool.release msg
   end
   else begin
-    let jitter =
-      if r.reorder > 0.0 && Prng.chance t.prng r.reorder then begin
-        Stats.Counter.incr t.c_reordered;
-        1 + Prng.int t.prng t.config.max_jitter
-      end
-      else 0
-    in
-    Fabric.send t.fabric ~at:(at + jitter) msg;
-    if r.dup > 0.0 && Prng.chance t.prng r.dup then begin
+    if d.reorder_jitter > 0 then Stats.Counter.incr t.c_reordered;
+    Fabric.send t.fabric ~at:(at + d.reorder_jitter) msg;
+    if d.dup_jitter > 0 then begin
       Stats.Counter.incr t.c_duplicated;
-      let jitter' = 1 + Prng.int t.prng t.config.max_jitter in
       (* the copy on the wire is a second reference; the receive path
          releases each delivered instance independently *)
       Message.Pool.retain msg;
-      Fabric.send t.fabric ~at:(at + jitter') msg
+      Fabric.send t.fabric ~at:(at + d.dup_jitter) msg
     end
   end

@@ -9,7 +9,27 @@
 
     Typhoon itself assumes a reliable non-corrupting network (§5.1); this
     layer exists to exercise the user-level {!Reliable} transport and the
-    coherence/progress oracles above it. *)
+    coherence/progress oracles above it.
+
+    {2 PRNG draw order (pinned)}
+
+    Per {!send}, draws happen in exactly this order, each draw conditional
+    on the preceding ones:
+    + drop chance (only if the vnet's drop rate is positive);
+    + a {e dropped} message draws nothing further — its fault pattern costs
+      exactly one draw;
+    + reorder chance (only if the reorder rate is positive);
+    + reorder jitter, [1 + uniform max_jitter], iff the reorder chance hit;
+    + dup chance (only if the dup rate is positive);
+    + dup jitter, [1 + uniform max_jitter], iff the dup chance hit.
+
+    A message that is both reordered and duplicated therefore draws {e two}
+    jitters from the same stream, reorder's first; the duplicate's delay is
+    independent of (and may be smaller than) the original's.  This order is
+    part of the module's seed-stability contract: changing it silently
+    rewrites every recorded fault pattern, so it is pinned by a regression
+    test (the exact dropped/duplicated/reordered counter triple for a known
+    traffic sequence). *)
 
 type rates = { drop : float; dup : float; reorder : float }
 (** Independent per-message probabilities in [0, 1]. *)
@@ -29,6 +49,21 @@ val uniform :
 (** Same rates on both virtual networks (defaults: all 0, seed 0x7700,
     max_jitter 40). *)
 
+val per_vnet :
+  ?seed:int -> ?max_jitter:int -> request:rates -> response:rates -> unit ->
+  config
+(** Distinct rates per virtual network — e.g. a lossy request net under a
+    clean response net, the asymmetry the [tt faults]
+    [--request-drop]/[--response-drop] flags expose. *)
+
+type decision = { dropped : bool; reorder_jitter : int; dup_jitter : int }
+(** The complete fault decision for one {!send}: [dropped] wins over the
+    rest; [reorder_jitter]/[dup_jitter] of [0] mean no reorder / no dup
+    (injected jitters are always ≥ 1). *)
+
+val deliver : decision
+(** The neutral decision: deliver untouched, no duplicate. *)
+
 type t
 
 val create : config -> Fabric.t -> t
@@ -37,6 +72,19 @@ val send : t -> at:int -> Message.t -> unit
 (** Like {!Fabric.send}, but the message may be dropped, delivered twice, or
     delayed by up to [max_jitter] extra cycles (which lets later traffic on
     the same pair overtake it). *)
+
+val set_tap : t -> (site:int -> decision -> decision) option -> unit
+(** Install (or remove) a decision tap.  When set, every {!send} first
+    draws its natural decision from the PRNG exactly as documented above,
+    then passes it to the tap along with the send's {e site} index (a
+    counter of sends through this injector); whatever the tap returns is
+    what is applied.  The PRNG stream is consumed identically with or
+    without a tap, so recording, masking (forcing {!deliver} at chosen
+    sites), and journal-driven replay of fault decisions never shift later
+    draws.  Counters reflect {e applied} decisions. *)
+
+val sites : t -> int
+(** Number of sends decided so far (the next send's site index). *)
 
 val stats : t -> Tt_util.Stats.t
 (** Counters: [faults.dropped], [faults.duplicated], [faults.reordered]. *)

@@ -330,3 +330,6 @@ let retransmits t =
   match t.flaky with
   | None -> 0
   | Some st -> Stats.Counter.get st.c_retransmits
+
+let faults t =
+  match t.flaky with None -> None | Some st -> Some st.faults

@@ -62,3 +62,7 @@ val fault_stats : t -> Tt_util.Stats.t option
 
 val retransmits : t -> int
 (** Total retransmitted messages so far — the watchdog's progress budget. *)
+
+val faults : t -> Faults.t option
+(** The wrapped {!Faults} injector itself (None under [Perfect]) — the
+    torture harness taps it to record, mask, and replay fault decisions. *)

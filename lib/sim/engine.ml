@@ -15,17 +15,35 @@ let seq_limit = 1 lsl seq_bits
 
 let max_time = max_int asr seq_bits
 
+(* With a tie-break perturber installed, the seq field is split into a salt
+   (high bits, from the perturber) and a FIFO counter (low bits): events at
+   equal times sort by salt first, FIFO among equal salts.  Salt 0 is the
+   neutral value — an all-zero salt stream reproduces pure FIFO order. *)
+let salt_bits = 8
+
+let salt_limit = 1 lsl salt_bits
+
+let counter_bits = seq_bits - salt_bits
+
+let counter_mask = (1 lsl counter_bits) - 1
+
 type t = {
   events : (unit -> unit) Tt_util.Intheap.t;
   mutable now : int;
   mutable seq : int;
+  mutable tiebreak : (int -> int) option;
+  mutable tiebreak_sites : int;
 }
 
 let nop () = ()
 
 let create () =
   { events = Tt_util.Intheap.create ~capacity:256 ~dummy:nop (); now = 0;
-    seq = 0 }
+    seq = 0; tiebreak = None; tiebreak_sites = 0 }
+
+let set_tiebreak t f = t.tiebreak <- f
+
+let tiebreak_sites t = t.tiebreak_sites
 
 let now t = t.now
 
@@ -58,7 +76,19 @@ let at t time fn =
       (Printf.sprintf "Engine.at: time %d exceeds the %d-bit budget" time
          (Sys.int_size - 1 - seq_bits));
   if t.seq >= seq_limit then rebase t;
-  Tt_util.Intheap.push t.events ((time lsl seq_bits) lor t.seq) fn;
+  (match t.tiebreak with
+  | None -> Tt_util.Intheap.push t.events ((time lsl seq_bits) lor t.seq) fn
+  | Some salt_of ->
+      (* perturbed tie-breaking: same-time events sort by salt, then FIFO.
+         The counter is truncated to its bit budget; a collision between
+         far-apart coexisting events merely makes their order salt-driven,
+         which is exactly what perturbation permits. *)
+      let salt = salt_of t.tiebreak_sites land (salt_limit - 1) in
+      t.tiebreak_sites <- t.tiebreak_sites + 1;
+      Tt_util.Intheap.push t.events
+        ((time lsl seq_bits) lor (salt lsl counter_bits)
+        lor (t.seq land counter_mask))
+        fn);
   t.seq <- t.seq + 1
 
 let after t delay fn = at t (t.now + delay) fn

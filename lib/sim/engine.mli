@@ -30,6 +30,27 @@ val after : t -> int -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of scheduled events not yet run. *)
 
+val set_tiebreak : t -> (int -> int) option -> unit
+(** Install (or remove) a deterministic same-timestamp tie-break perturber.
+
+    With [None] (the default) ties are broken strictly FIFO and scheduling
+    is bit-identical to the unperturbed engine.  With [Some salt_of], every
+    {!at} call obtains a {e salt} — [salt_of site land 0xff], where [site]
+    is a counter of perturbed scheduling decisions so far — and events that
+    coexist at equal times sort by salt first, FIFO among equal salts.
+    Salt [0] is the neutral value: an all-zero salt stream reproduces pure
+    FIFO order among the salted events.  Perturbation never reorders events
+    across distinct timestamps.
+
+    The salt source is called exactly once per scheduling decision with
+    consecutive site indices, so a seeded generator yields reproducible
+    perturbed schedules and a recorded [site -> salt] journal replays one
+    exactly (see [Tt_torture.Trace]). *)
+
+val tiebreak_sites : t -> int
+(** Number of tie-break decisions drawn so far (0 when no perturber has
+    ever been installed). *)
+
 val next_event_time : t -> int
 (** Timestamp of the earliest queued event, or [max_int] when the queue is
     empty.  Lets a dispatcher decide whether it may keep draining its own

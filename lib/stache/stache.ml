@@ -29,6 +29,22 @@ let scratch3 a0 a1 a2 =
   s.(2) <- a2;
   s
 
+(* Guarded protocol-sabotage knob: when on, [on_inval] acknowledges the
+   home node's invalidation without actually dropping the read-only copy,
+   so subsequent reads on the sharer can return stale data — the seeded
+   coherence bug the torture harness (Tt_torture) must catch and shrink.
+   Off unless TT_SABOTAGE is set in the environment or {!set_sabotage} is
+   called; never enabled by any production code path. *)
+let sabotage =
+  ref
+    (match Sys.getenv_opt "TT_SABOTAGE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let set_sabotage on = sabotage := on
+
+let sabotage_enabled () = !sabotage
+
 let mode_home = 1
 
 let mode_remote = 2
@@ -84,6 +100,7 @@ type t = {
   c_home_faults : Stats.counter;
   c_writeback : Stats.counter;
   c_page_replacements : Stats.counter;
+  c_sabotaged_invals : Stats.counter;
   mutable alloc_cursor : int;
   mutable next_home : int; (* round-robin cursor *)
   (* message handler ids, assigned at install *)
@@ -329,7 +346,10 @@ let on_upgrade_ok t (ep : Tempest.t) ~src:_ ~args ~data:_ =
 (* sharer <- home: drop your read-only copy *)
 let on_inval t (ep : Tempest.t) ~src ~args ~data:_ =
   let vaddr = args.(0) in
-  if ep.Tempest.page_mapped ~vpage:(Addr.page_of vaddr) then
+  if !sabotage then
+    (* seeded bug: ack without invalidating, keeping a stale RO copy *)
+    Stats.Counter.incr t.c_sabotaged_invals
+  else if ep.Tempest.page_mapped ~vpage:(Addr.page_of vaddr) then
     ep.Tempest.invalidate ~vaddr;
   ep.Tempest.charge c_inval_extra;
   ep.Tempest.send_raw ~dst:src ~vnet:Message.Response ~handler:t.h_inval_ack
@@ -589,6 +609,7 @@ let install sys ?max_stache_pages () =
       c_home_faults = Stats.counter counters "home_faults";
       c_writeback = Stats.counter counters "writeback";
       c_page_replacements = Stats.counter counters "page_replacements";
+      c_sabotaged_invals = Stats.counter counters "sabotaged_invals";
       alloc_cursor = heap_base;
       next_home = 0;
       h_get = -1; h_data = -1; h_upgrade_ok = -1; h_inval = -1;

@@ -76,3 +76,13 @@ val check_invariants : t -> (unit, string) result
     transactions; Idle ⇒ home tag ReadWrite and no remote copy;
     Shared ⇒ home tag ReadOnly, every remote copy ReadOnly and registered;
     Remote_excl o ⇒ home tag Invalid and node o's copy ReadWrite. *)
+
+val set_sabotage : bool -> unit
+(** Guarded protocol-sabotage knob (global): when on, {e invalidation
+    handlers acknowledge without invalidating}, leaving stale read-only
+    copies behind — a seeded coherence bug for validating the torture
+    harness's oracle and shrinker.  Initialized from the [TT_SABOTAGE]
+    environment variable (["1"]/["true"]/["yes"]); counted under
+    [sabotaged_invals] in {!stats}.  Never enabled by production code. *)
+
+val sabotage_enabled : unit -> bool

@@ -1,0 +1,55 @@
+(* Zeller-Hildebrandt ddmin over a list of items (for us: active decision
+   sites).  [test kept] must return true when the failure of interest still
+   reproduces with only [kept] active; it is assumed deterministic.  The
+   probe budget bounds total [test] calls — when it runs out every further
+   probe reports false, so the algorithm walks itself to a fixpoint on the
+   best subset found so far rather than aborting. *)
+
+let split_chunks items n =
+  let len = List.length items in
+  let arr = Array.of_list items in
+  let chunks = ref [] in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    let size = (len - !start + (n - 1 - i)) / (n - i) in
+    chunks := Array.to_list (Array.sub arr !start size) :: !chunks;
+    start := !start + size
+  done;
+  List.rev (List.filter (fun c -> c <> []) !chunks)
+
+let diff a b = List.filter (fun x -> not (List.mem x b)) a
+
+let ddmin ?(probe_budget = 200) ~test items =
+  let probes = ref 0 in
+  let test kept =
+    if !probes >= probe_budget then false
+    else begin
+      incr probes;
+      test kept
+    end
+  in
+  let rec go items n =
+    let len = List.length items in
+    if len <= 1 then items
+    else begin
+      let n = min n len in
+      let chunks = split_chunks items n in
+      (* reduce to a single chunk *)
+      match List.find_opt test chunks with
+      | Some c -> go c 2
+      | None -> begin
+          (* reduce to a complement *)
+          let comp =
+            if n <= 2 then None
+            else List.find_opt (fun c -> test (diff items c)) chunks
+          in
+          match comp with
+          | Some c -> go (diff items c) (max (n - 1) 2)
+          | None -> if n < len then go items (min len (2 * n)) else items
+        end
+    end
+  in
+  if items = [] then []
+  else if not (test items) then items (* not reproducible: nothing to do *)
+  else if test [] then [] (* classic ddmin never probes the empty set *)
+  else go items 2

@@ -1,0 +1,16 @@
+(** Delta debugging (ddmin) over decision-site sets.
+
+    Given a failing torture case, the set of {e active} fault/perturbation
+    sites recorded in its {!Trace} is the candidate cause; [ddmin] finds a
+    small subset that still reproduces the failure, probing with masked
+    re-runs.  The classic algorithm: try each of [n] chunks alone, then
+    each complement, doubling granularity when nothing reproduces, until
+    the kept set is 1-minimal or the probe budget is spent. *)
+
+val ddmin : ?probe_budget:int -> test:(int list -> bool) -> int list -> int list
+(** [ddmin ~test items] returns a subset of [items] on which [test] holds
+    (or [items] itself when [test items] is false — an irreproducible
+    failure is returned unshrunk).  [test] must be deterministic; it is
+    called at most [probe_budget] (default 200) times, after which
+    remaining probes are assumed to fail and the best subset so far is
+    returned. *)

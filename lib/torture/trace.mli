@@ -1,0 +1,51 @@
+(** Compact per-event journal of a torture run's non-neutral decisions.
+
+    A torture schedule is fully determined by two decision streams, both
+    indexed by a monotonically increasing {e site} counter: the engine's
+    same-timestamp tie-break salts ({!Tt_sim.Engine.set_tiebreak}) and the
+    fault injector's applied per-send decisions ({!Tt_net.Faults.set_tap}).
+    The journal records only the {e active} sites — nonzero salts,
+    non-[deliver] fault decisions; every other site is neutral.  Replaying
+    a journal (site → recorded value, absent → neutral) re-executes the
+    recorded schedule exactly: the simulation is deterministic, both hooks
+    consume their underlying PRNG streams identically whether a decision is
+    natural, masked, or journal-fed, and the recorded run's applied
+    decisions are by construction the journal's values at those same
+    sites.  After shrinking, the journal is a handful of lines — a minimal
+    reproducer small enough to read. *)
+
+type t
+
+val create : unit -> t
+
+val add_salt : t -> site:int -> int -> unit
+(** Record a tie-break salt; salt 0 (neutral) is not stored. *)
+
+val salt : t -> site:int -> int
+(** Recorded salt at a site, 0 when absent. *)
+
+val add_decision : t -> site:int -> Tt_net.Faults.decision -> unit
+(** Record an applied fault decision; {!Tt_net.Faults.deliver} is not
+    stored. *)
+
+val decision : t -> site:int -> Tt_net.Faults.decision
+(** Recorded decision at a site, [deliver] when absent. *)
+
+val salt_sites : t -> int list
+(** Active tie-break sites, ascending. *)
+
+val fault_sites : t -> int list
+(** Active fault sites, ascending. *)
+
+val n_salts : t -> int
+
+val n_decisions : t -> int
+
+val to_lines : t -> string list
+(** Serialize: [P <site> <salt>], [F <site> drop],
+    [F <site> jitter <reorder> <dup>]. *)
+
+val parse_line : t -> string -> bool
+(** Parse one serialized line into the journal; [false] if the line is not
+    a journal entry (lets a caller interleave journal lines with its own
+    header fields). *)

@@ -17,6 +17,11 @@ module Stats = Tt_util.Stats
 
 let check_int = Alcotest.(check int)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 (* 2 drop rates x 3 seeds on a small em3d: every cell must complete, pass
    the coherence audit, and reproduce the fault-free oracle's results *)
 let test_fault_matrix_smoke machine () =
@@ -40,7 +45,7 @@ let test_fault_matrix_smoke machine () =
 
 let flaky_em3d ~seed ~drop =
   let params = { Params.default with Params.nodes = 4 } in
-  let reliability = Reliable.Flaky (Faultsweep.config_of ~drop ~seed) in
+  let reliability = Reliable.Flaky (Faultsweep.config_of ~drop ~seed ()) in
   let m = Machine.typhoon_stache ~reliability params in
   let app = Catalog.make ~name:"em3d" ~size:Catalog.Small ~scale:0.05 ~nprocs:4 in
   let r = Run.spmd m ~name:"em3d" app.Catalog.body in
@@ -84,7 +89,13 @@ let test_watchdog_cycle_budget () =
   let watchdog = Watchdog.create ~max_cycles:2_000 ~check_interval:500 () in
   match dead_link_run ~watchdog () with
   | _ -> Alcotest.fail "budget must expire"
-  | exception Watchdog.Expired _ -> ()
+  | exception Watchdog.Expired m ->
+      (* the diagnosis must carry the full progress picture: queue depth
+         and the retransmit count at expiry *)
+      Alcotest.(check bool) "reports pending events" true
+        (contains m "events still pending");
+      Alcotest.(check bool) "reports retransmit count" true
+        (contains m "retransmissions so far")
 
 let test_watchdog_retransmit_budget () =
   let watchdog =
@@ -93,11 +104,33 @@ let test_watchdog_retransmit_budget () =
   match dead_link_run ~watchdog () with
   | _ -> Alcotest.fail "retransmit budget must expire"
   | exception Watchdog.Expired m ->
-      let sub = "retransmission" in
       Alcotest.(check bool) "names the blown budget" true
-        (let n = String.length m and k = String.length sub in
-         let rec go i = i + k <= n && (String.sub m i k = sub || go (i + 1)) in
-         go 0)
+        (contains m "retransmission");
+      Alcotest.(check bool) "reports pending events" true
+        (contains m "events pending");
+      Alcotest.(check bool) "not a drain-time detection" false
+        (contains m "(run completed)")
+
+let test_watchdog_drain_time_check () =
+  (* a run that completes but blew its retransmit budget during the final
+     slice: the drain-time check must still fire, and must say the run
+     completed so the report is not mistaken for a livelock *)
+  let watchdog =
+    Watchdog.create ~max_retransmits:0 ~check_interval:100_000_000 ()
+  in
+  let params = { Params.default with Params.nodes = 4 } in
+  let reliability =
+    Reliable.Flaky (Faultsweep.config_of ~drop:0.05 ~seed:11 ())
+  in
+  let m = Machine.typhoon_stache ~reliability params in
+  let app =
+    Catalog.make ~name:"em3d" ~size:Catalog.Small ~scale:0.05 ~nprocs:4
+  in
+  match Run.spmd m ~name:"em3d" ~watchdog app.Catalog.body with
+  | _ -> Alcotest.fail "zero retransmit budget must expire at drain"
+  | exception Watchdog.Expired msg ->
+      Alcotest.(check bool) "reports drain-time detection" true
+        (contains msg "(run completed)")
 
 let test_watchdog_rejects_empty () =
   Alcotest.check_raises "no budget"
@@ -127,6 +160,8 @@ let () =
             test_watchdog_cycle_budget;
           Alcotest.test_case "retransmit budget expires" `Quick
             test_watchdog_retransmit_budget;
+          Alcotest.test_case "drain-time budget check" `Slow
+            test_watchdog_drain_time_check;
           Alcotest.test_case "empty watchdog rejected" `Quick
             test_watchdog_rejects_empty;
         ] );

@@ -244,6 +244,70 @@ let test_faults_reproducible () =
   check_int "drops + deliveries account for every send"
     (200 + u_a) (List.length log_a + d_a)
 
+(* Seed-stability regression (pinned): the PRNG draw order documented in
+   faults.mli — drop first; survivors draw reorder chance, reorder jitter
+   iff hit, dup chance, dup jitter iff hit — determines every recorded
+   fault pattern.  Reordering the draws would silently rewrite them all, so
+   the exact counter triple for this known traffic sequence is pinned here.
+   If this test fails, the fault model's stream contract changed: every
+   recorded torture artifact and faultsweep baseline is invalidated. *)
+let test_faults_seed_stability () =
+  let _, d, u, r = faulty_run ~seed:42 () in
+  check_int "dropped (pinned)" 39 d;
+  check_int "duplicated (pinned)" 16 u;
+  check_int "reordered (pinned)" 39 r
+
+let decisions_under_tap ~mask () =
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 () in
+  let fl =
+    Faults.create
+      (Faults.uniform ~seed:42 ~drop:0.2 ~dup:0.1 ~reorder:0.2 ())
+      f
+  in
+  let naturals = ref [] in
+  Faults.set_tap fl
+    (Some
+       (fun ~site d ->
+         naturals := (site, d) :: !naturals;
+         if mask then Faults.deliver else d));
+  Fabric.set_receiver f ~node:1 (fun _ -> ());
+  for i = 0 to 99 do
+    Faults.send fl ~at:(i * 3) (msg ~handler:i ())
+  done;
+  Engine.run e;
+  (List.rev !naturals, Faults.dropped fl)
+
+let test_faults_tap_stream_alignment () =
+  (* the tap contract: the PRNG is consumed identically whether decisions
+     are applied or masked, so a masking tap (the torture shrinker's probe
+     mechanism) sees exactly the natural run's decision stream *)
+  let nat, d_nat = decisions_under_tap ~mask:false () in
+  let masked, d_masked = decisions_under_tap ~mask:true () in
+  check_bool "masking never shifts later draws" true (nat = masked);
+  check_bool "natural run applied faults" true (d_nat > 0);
+  check_int "masked run applied none" 0 d_masked
+
+let test_faults_per_vnet_rates () =
+  (* a dead request net under a clean response net: only requests vanish *)
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 () in
+  let cfg =
+    Faults.per_vnet ~seed:9
+      ~request:{ Faults.drop = 1.0; dup = 0.0; reorder = 0.0 }
+      ~response:Faults.no_faults ()
+  in
+  let fl = Faults.create cfg f in
+  let got = ref 0 in
+  Fabric.set_receiver f ~node:1 (fun _ -> incr got);
+  for i = 0 to 9 do
+    Faults.send fl ~at:i (msg ~handler:i ~vnet:Message.Request ());
+    Faults.send fl ~at:i (msg ~handler:(100 + i) ~vnet:Message.Response ())
+  done;
+  Engine.run e;
+  check_int "responses delivered" 10 !got;
+  check_int "requests dropped" 10 (Faults.dropped fl)
+
 let test_faults_full_drop () =
   let e = Engine.create () in
   let f = Fabric.create e ~nodes:2 ~latency:11 () in
@@ -295,6 +359,87 @@ let test_reliable_link_failed () =
   | () -> Alcotest.fail "dead link must escalate"
   | exception Reliable.Link_failed m ->
       check_bool "names the link" true (contains m "0->1")
+
+(* Direct edge-path tests below use a tap on the wrapped injector to force
+   one precise fault pattern (rates stay 0, so every untapped site is a
+   clean delivery). *)
+let mk_reliable_tuned ?base_rto ?rto_cap ?max_retries ?window ?(seed = 1) () =
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 () in
+  let r =
+    Reliable.create ?base_rto ?rto_cap ?max_retries ?window e f
+      (Reliable.Flaky (Faults.uniform ~seed ()))
+  in
+  (e, r, Option.get (Reliable.faults r))
+
+let test_reliable_window_full_drops () =
+  (* delay the first message past the retransmit timeout: with a 2-entry
+     reassembly window, seqs 2..4 arrive out of range and must be dropped
+     without acking, then repaired by the sender's retransmission *)
+  let e, r, fl = mk_reliable_tuned ~window:2 () in
+  Faults.set_tap fl
+    (Some
+       (fun ~site d ->
+         if site = 0 then { d with Faults.reorder_jitter = 2000 } else d));
+  let got = ref [] in
+  Reliable.set_receiver r ~node:1 (fun m -> got := m.Message.handler :: !got);
+  Reliable.set_receiver r ~node:0 (fun _ -> ());
+  for i = 0 to 4 do
+    Reliable.send r ~at:i (msg ~handler:i ())
+  done;
+  Engine.run e;
+  Alcotest.(check (list int))
+    "exactly once, in order despite window drops" [ 0; 1; 2; 3; 4 ]
+    (List.rev !got);
+  check_int "beyond-window arrivals refused" 3
+    (Stats.get (Reliable.stats r) "reliable.window_drops");
+  check_bool "late original suppressed as duplicate" true
+    (Stats.get (Reliable.stats r) "reliable.dup_dropped" >= 1)
+
+let dead_link_timing ~rto_cap =
+  let e, r, fl = mk_reliable_tuned ~base_rto:100 ~rto_cap ~max_retries:3 () in
+  Faults.set_tap fl
+    (Some
+       (fun ~site:_ _ ->
+         { Faults.dropped = true; reorder_jitter = 0; dup_jitter = 0 }));
+  Reliable.set_receiver r ~node:1 (fun _ -> ());
+  Reliable.set_receiver r ~node:0 (fun _ -> ());
+  Reliable.send r ~at:0 (msg ());
+  match Engine.run e with
+  | () -> Alcotest.fail "dead link must escalate"
+  | exception Reliable.Link_failed m ->
+      check_bool "names the link" true (contains m "0->1");
+      (Engine.now e, Reliable.retransmits r)
+
+let test_reliable_backoff_cap () =
+  (* base_rto 100, max_retries 3.  Uncapped the retry timers double:
+     100, 300, 700, then give up at 1500.  Capped at 200 they flatten:
+     100, 300, 500, give up at 700.  Both fail after exactly max_retries
+     retransmit rounds. *)
+  let t_uncapped, rx_uncapped = dead_link_timing ~rto_cap:100_000 in
+  let t_capped, rx_capped = dead_link_timing ~rto_cap:200 in
+  check_int "uncapped exponential backoff" 1_500 t_uncapped;
+  check_int "capped backoff flattens" 700 t_capped;
+  check_int "uncapped: max_retries rounds" 3 rx_uncapped;
+  check_int "capped: max_retries rounds" 3 rx_capped
+
+let test_reliable_dup_of_retransmit () =
+  (* the original is delayed past the RTO, so the retransmitted copy is
+     delivered first; the late original must be suppressed as a duplicate *)
+  let e, r, fl = mk_reliable_tuned () in
+  Faults.set_tap fl
+    (Some
+       (fun ~site d ->
+         if site = 0 then { d with Faults.reorder_jitter = 1000 } else d));
+  let got = ref 0 in
+  Reliable.set_receiver r ~node:1 (fun _ -> incr got);
+  Reliable.set_receiver r ~node:0 (fun _ -> ());
+  Reliable.send r ~at:0 (msg ());
+  Engine.run e;
+  check_int "delivered exactly once" 1 !got;
+  check_int "one retransmission" 1 (Reliable.retransmits r);
+  check_int "late original dropped as dup" 1
+    (Stats.get (Reliable.stats r) "reliable.dup_dropped")
 
 let test_reliable_perfect_passthrough () =
   (* Perfect policy is an exact Fabric pass-through: same arrival time, no
@@ -350,6 +495,11 @@ let () =
         [
           Alcotest.test_case "reproducible per seed" `Quick
             test_faults_reproducible;
+          Alcotest.test_case "seed stability (pinned triple)" `Quick
+            test_faults_seed_stability;
+          Alcotest.test_case "tap stream alignment" `Quick
+            test_faults_tap_stream_alignment;
+          Alcotest.test_case "per-vnet rates" `Quick test_faults_per_vnet_rates;
           Alcotest.test_case "full drop" `Quick test_faults_full_drop;
         ] );
       ( "reliable",
@@ -358,6 +508,12 @@ let () =
             test_reliable_exactly_once_in_order;
           Alcotest.test_case "dead link escalates" `Quick
             test_reliable_link_failed;
+          Alcotest.test_case "window-full arrivals refused" `Quick
+            test_reliable_window_full_drops;
+          Alcotest.test_case "backoff caps at rto_cap" `Quick
+            test_reliable_backoff_cap;
+          Alcotest.test_case "retransmit beats delayed original" `Quick
+            test_reliable_dup_of_retransmit;
           Alcotest.test_case "perfect pass-through" `Quick
             test_reliable_perfect_passthrough;
         ] );
