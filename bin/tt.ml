@@ -4,6 +4,7 @@
      tt run     run one benchmark on one machine and report cycles/stats
      tt fig3    reproduce Figure 3 (Typhoon/Stache vs DirNNB)
      tt fig4    reproduce Figure 4 (EM3D update protocol)
+     tt scale   64/128/256-node scaling sweep of the Figure 3 apps
      tt tables  print Tables 1-3 as implemented
      tt list    list benchmarks and machines *)
 
@@ -201,6 +202,54 @@ let sweep_cmd =
           sweep the remote-access fraction on both machines (results are \
           verified against the generator's oracle).")
     Term.(const run $ pcts_t $ writes_t $ contended_t $ nodes_t $ seed_t)
+
+(* --- tt scale --- *)
+
+let scale_cmd =
+  let apps_t =
+    Arg.(
+      value
+      & opt (list (enum (List.map (fun n -> (n, n)) H.Catalog.names)))
+          H.Catalog.names
+      & info [ "apps" ] ~doc:"Comma-separated benchmark subset.")
+  in
+  let nodes_list_t =
+    Arg.(
+      value
+      & opt (list int) H.Scaling.default_nodes
+      & info [ "n"; "nodes" ] ~doc:"Comma-separated node counts to sweep.")
+  in
+  let scale_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "scale" ] ~doc:"Data-set scale factor (default 0.25).")
+  in
+  let cache_t =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~doc:"CPU cache size in KB (default 256).")
+  in
+  let run apps nodes scale cache_kb =
+    let points = H.Scaling.run ~apps ~nodes ~scale ~cache_kb () in
+    print_string (H.Scaling.render points);
+    (* host-dependent: kept out of the table so gates can diff it *)
+    Printf.printf "(sweep host CPU: %.1fs)\n" (H.Scaling.total_cpu_s points);
+    match Sys.getenv_opt "TT_BENCH_JSON" with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (H.Scaling.to_json points);
+        close_out oc;
+        Printf.printf "(wrote scaling points to %s)\n" path
+    | None -> ()
+  in
+  let doc =
+    "Scaling sweep: run the Figure 3 benchmarks on both machines at 64, 128 \
+     and 256 nodes (the paper stops at 32) and report simulated cycles and \
+     the Typhoon/Stache-to-DirNNB ratio per node count.  Set \
+     $(b,TT_BENCH_JSON) to also write the points as JSON."
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run $ apps_t $ nodes_list_t $ scale_t $ cache_t)
 
 (* --- tt verify --- *)
 
@@ -540,4 +589,4 @@ let () =
   let info = Cmd.info "tt" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; fig3_cmd; fig4_cmd; tables_cmd; ablations_cmd; sweep_cmd;
-         faults_cmd; torture_cmd; verify_cmd; list_cmd ]))
+         scale_cmd; faults_cmd; torture_cmd; verify_cmd; list_cmd ]))

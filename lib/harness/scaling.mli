@@ -1,0 +1,44 @@
+(** Node-count scaling sweeps past the paper's 32-node machine.
+
+    The paper evaluates a fixed 32-node CM-5; this sweep re-runs the
+    Figure 3 applications on both systems at 64, 128 and 256 nodes to
+    check that the simulation (and the calendar event queue feeding it)
+    sustains the larger machines, and how the Typhoon/Stache-to-DirNNB
+    ratio moves as the same data set is cut ever finer.
+
+    Simulated cycle counts are deterministic — independent of host, of
+    wall-clock and of the queue implementation ([TT_EVQ]) — so the
+    rendered table is diff-stable and gates [scripts/check_scaling.sh].
+    Host CPU seconds are reported separately per point and never appear
+    in {!render} or {!to_json}. *)
+
+type point = {
+  app : string;
+  nodes : int;
+  dirnnb_cycles : int;
+  stache_cycles : int;
+  cpu_s : float;  (** host CPU seconds for the pair of runs (not rendered) *)
+}
+
+val default_nodes : int list
+(** [[64; 128; 256]] *)
+
+val run :
+  ?apps:string list -> ?nodes:int list -> ?scale:float -> ?cache_kb:int ->
+  unit -> point list
+(** Defaults: all five Figure 3 apps, {!default_nodes}, scale 0.25 of the
+    small data set, 256 KB CPU caches.  Points come out app-major in the
+    order given. *)
+
+val ratio : point -> float
+(** [stache_cycles / dirnnb_cycles] — below 1.0 means Typhoon/Stache wins. *)
+
+val render : point list -> string
+(** Deterministic ASCII table (simulated cycles and ratios only). *)
+
+val total_cpu_s : point list -> float
+
+val to_json : point list -> string
+(** Deterministic JSON: [{"points": [{app, nodes, dirnnb_cycles,
+    stache_cycles}, ...]}] — for [TT_BENCH_JSON] capture into
+    BENCH_RESULTS.json. *)

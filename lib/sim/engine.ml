@@ -1,7 +1,12 @@
 (* The event queue packs each event's (time, seq) priority into one
-   immediate int — [time lsl seq_bits lor seq] — so the heap compares plain
-   ints and stores the callback directly: no per-event record, no comparator
-   closure.  See DESIGN.md "Performance" for the bit budget.
+   immediate int — [time lsl seq_bits lor seq] — so the queue compares
+   plain ints and stores the callback directly: no per-event record, no
+   comparator closure.  See DESIGN.md "Performance" for the bit budget.
+
+   The queue itself sits behind the Eventq.EVENT_QUEUE boundary: a binary
+   heap or a calendar/ladder queue, chosen at [create] (TT_EVQ=heap|cal
+   overrides; default calendar).  Both drain in the exact same total key
+   order, so everything below is implementation-agnostic.
 
    [seq] breaks ties FIFO among events that coexist at equal times.  It
    resets to 0 whenever the queue drains (FIFO order only matters among
@@ -9,7 +14,7 @@
    scheduled without the queue ever draining, the live queue is renumbered
    in place ([rebase]), preserving order. *)
 
-let seq_bits = 20
+let seq_bits = Eventq.seq_bits
 
 let seq_limit = 1 lsl seq_bits
 
@@ -19,7 +24,7 @@ let max_time = max_int asr seq_bits
    (high bits, from the perturber) and a FIFO counter (low bits): events at
    equal times sort by salt first, FIFO among equal salts.  Salt 0 is the
    neutral value — an all-zero salt stream reproduces pure FIFO order. *)
-let salt_bits = 8
+let salt_bits = Eventq.salt_bits
 
 let salt_limit = 1 lsl salt_bits
 
@@ -28,7 +33,7 @@ let counter_bits = seq_bits - salt_bits
 let counter_mask = (1 lsl counter_bits) - 1
 
 type t = {
-  events : (unit -> unit) Tt_util.Intheap.t;
+  events : Eventq.t;
   mutable now : int;
   mutable seq : int;
   mutable tiebreak : (int -> int) option;
@@ -37,9 +42,14 @@ type t = {
 
 let nop () = ()
 
-let create () =
-  { events = Tt_util.Intheap.create ~capacity:256 ~dummy:nop (); now = 0;
-    seq = 0; tiebreak = None; tiebreak_sites = 0 }
+let create ?queue () =
+  let impl = match queue with Some i -> i | None -> Eventq.impl_of_env () in
+  { events = Eventq.create impl; now = 0; seq = 0; tiebreak = None;
+    tiebreak_sites = 0 }
+
+let queue_impl t = Eventq.impl t.events
+
+let queue_fell_back t = Eventq.fell_back t.events
 
 let set_tiebreak t f = t.tiebreak <- f
 
@@ -47,22 +57,20 @@ let tiebreak_sites t = t.tiebreak_sites
 
 let now t = t.now
 
-let pending t = Tt_util.Intheap.length t.events
+let pending t = Eventq.length t.events
 
 (* Renumber queued events with consecutive seqs starting from 0.  Draining
-   the heap yields ascending (time, seq) order, so reassigning seq by drain
+   the queue yields ascending (time, seq) order, so reassigning seq by drain
    position preserves the relative order exactly. *)
 let rebase t =
-  let n = Tt_util.Intheap.length t.events in
+  let n = Eventq.length t.events in
   let keys = Array.make n 0 and fns = Array.make n nop in
   for i = 0 to n - 1 do
-    keys.(i) <- Tt_util.Intheap.min_key t.events;
-    fns.(i) <- Tt_util.Intheap.pop_exn t.events
+    keys.(i) <- Eventq.min_key t.events;
+    fns.(i) <- Eventq.pop_exn t.events
   done;
   for i = 0 to n - 1 do
-    Tt_util.Intheap.push t.events
-      (((keys.(i) asr seq_bits) lsl seq_bits) lor i)
-      fns.(i)
+    Eventq.push t.events (((keys.(i) asr seq_bits) lsl seq_bits) lor i) fns.(i)
   done;
   t.seq <- n
 
@@ -77,7 +85,7 @@ let at t time fn =
          (Sys.int_size - 1 - seq_bits));
   if t.seq >= seq_limit then rebase t;
   (match t.tiebreak with
-  | None -> Tt_util.Intheap.push t.events ((time lsl seq_bits) lor t.seq) fn
+  | None -> Eventq.push t.events ((time lsl seq_bits) lor t.seq) fn
   | Some salt_of ->
       (* perturbed tie-breaking: same-time events sort by salt, then FIFO.
          The counter is truncated to its bit budget; a collision between
@@ -85,17 +93,29 @@ let at t time fn =
          which is exactly what perturbation permits. *)
       let salt = salt_of t.tiebreak_sites land (salt_limit - 1) in
       t.tiebreak_sites <- t.tiebreak_sites + 1;
-      Tt_util.Intheap.push t.events
+      Eventq.push t.events
         ((time lsl seq_bits) lor (salt lsl counter_bits)
         lor (t.seq land counter_mask))
         fn);
   t.seq <- t.seq + 1
 
-let after t delay fn = at t (t.now + delay) fn
+let after t delay fn =
+  (* [t.now + delay] silently wraps past max_int for huge delays, landing
+     either negative (caught by [at] with a misleading "before now") or,
+     for delays past 2*max_int - now, back among valid times; reject the
+     overflow here with both operands named.  [max_time < max_int], so
+     every non-wrapping overflow is also caught. *)
+  if delay > max_time - t.now then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.after: delay %d from now=%d overflows the schedulable time \
+          budget (max %d)"
+         delay t.now max_time);
+  at t (t.now + delay) fn
 
 let next_event_time t =
-  if Tt_util.Intheap.is_empty t.events then max_int
-  else Tt_util.Intheap.min_key t.events asr seq_bits
+  if Eventq.is_empty t.events then max_int
+  else Eventq.min_key t.events asr seq_bits
 
 let skip_to t time =
   if time < t.now then
@@ -108,16 +128,22 @@ let skip_to t time =
          (next_event_time t));
   t.now <- time
 
+(* Shared fast path for step/run/run_until: fire the minimum event whose
+   key the caller already peeked — the single queue read both entry
+   points used to duplicate. *)
+let fire t key =
+  t.now <- key asr seq_bits;
+  let fn = Eventq.pop_exn t.events in
+  (* FIFO order only matters among coexisting events: restart the tie
+     counter whenever the queue drains so it can never overflow in
+     steady-state workloads. *)
+  if Eventq.is_empty t.events then t.seq <- 0;
+  fn ()
+
 let step t =
-  if Tt_util.Intheap.is_empty t.events then false
+  if Eventq.is_empty t.events then false
   else begin
-    t.now <- Tt_util.Intheap.min_key t.events asr seq_bits;
-    let fn = Tt_util.Intheap.pop_exn t.events in
-    (* FIFO order only matters among coexisting events: restart the tie
-       counter whenever the queue drains so it can never overflow in
-       steady-state workloads. *)
-    if Tt_util.Intheap.is_empty t.events then t.seq <- 0;
-    fn ();
+    fire t (Eventq.min_key t.events);
     true
   end
 
@@ -125,11 +151,14 @@ let run t = while step t do () done
 
 let run_until t ~limit =
   let rec go () =
-    if Tt_util.Intheap.is_empty t.events then true
-    else if Tt_util.Intheap.min_key t.events asr seq_bits > limit then false
+    if Eventq.is_empty t.events then true
     else begin
-      ignore (step t);
-      go ()
+      let key = Eventq.min_key t.events in
+      if key asr seq_bits > limit then false
+      else begin
+        fire t key;
+        go ()
+      end
     end
   in
   go ()

@@ -1,0 +1,127 @@
+(* The engine's replaceable event-queue boundary: one signature, two
+   implementations, selected once at creation (TT_EVQ=heap|cal for A/B
+   runs; default calendar).  See eventq.mli. *)
+
+let seq_bits = 20
+
+let salt_bits = 8
+
+module type EVENT_QUEUE = sig
+  type t
+
+  val create : unit -> t
+
+  val push : t -> int -> (unit -> unit) -> unit
+
+  val min_key : t -> int
+
+  val pop_exn : t -> unit -> unit
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val clear : t -> unit
+
+  val fell_back : t -> bool
+end
+
+let nop () = ()
+
+module Heap_queue : EVENT_QUEUE with type t = (unit -> unit) Tt_util.Intheap.t =
+struct
+  type t = (unit -> unit) Tt_util.Intheap.t
+
+  let create () = Tt_util.Intheap.create ~capacity:256 ~dummy:nop ()
+
+  let push = Tt_util.Intheap.push
+
+  let min_key = Tt_util.Intheap.min_key
+
+  let pop_exn = Tt_util.Intheap.pop_exn
+
+  let length = Tt_util.Intheap.length
+
+  let is_empty = Tt_util.Intheap.is_empty
+
+  let clear = Tt_util.Intheap.clear
+
+  let fell_back _ = false
+end
+
+module Cal_queue : EVENT_QUEUE with type t = (unit -> unit) Tt_util.Calqueue.t =
+struct
+  type t = (unit -> unit) Tt_util.Calqueue.t
+
+  (* wshift = seq_bits: the first buckets each cover one simulated cycle
+     of packed key space; resizes re-estimate from the live span. *)
+  let create () =
+    Tt_util.Calqueue.create ~capacity:256 ~wshift:seq_bits ~dummy:nop ()
+
+  let push = Tt_util.Calqueue.push
+
+  let min_key = Tt_util.Calqueue.min_key
+
+  let pop_exn = Tt_util.Calqueue.pop_exn
+
+  let length = Tt_util.Calqueue.length
+
+  let is_empty = Tt_util.Calqueue.is_empty
+
+  let clear = Tt_util.Calqueue.clear
+
+  let fell_back = Tt_util.Calqueue.fell_back
+end
+
+type impl = Heap | Calendar
+
+let impl_of_env () =
+  match Sys.getenv_opt "TT_EVQ" with
+  | None -> Calendar
+  | Some "heap" -> Heap
+  | Some ("cal" | "calendar") -> Calendar
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf "TT_EVQ=%s: expected \"heap\" or \"cal\"" other)
+
+let impl_label = function Heap -> "heap" | Calendar -> "calendar"
+
+(* Closed two-arm variant rather than a first-class module: the
+   implementation set is fixed, and a predicted branch + static call is
+   measurably cheaper per event than unpacking an existential.  The
+   EVENT_QUEUE signature above stays the documented boundary both
+   implementations are checked against. *)
+type t = Hq of Heap_queue.t | Cq of Cal_queue.t
+
+let create = function
+  | Heap -> Hq (Heap_queue.create ())
+  | Calendar -> Cq (Cal_queue.create ())
+
+let impl = function Hq _ -> Heap | Cq _ -> Calendar
+
+let push q key fn =
+  match q with
+  | Hq h -> Heap_queue.push h key fn
+  | Cq c -> Cal_queue.push c key fn
+
+let min_key = function
+  | Hq h -> Heap_queue.min_key h
+  | Cq c -> Cal_queue.min_key c
+
+let pop_exn = function
+  | Hq h -> Heap_queue.pop_exn h
+  | Cq c -> Cal_queue.pop_exn c
+
+let length = function
+  | Hq h -> Heap_queue.length h
+  | Cq c -> Cal_queue.length c
+
+let is_empty = function
+  | Hq h -> Heap_queue.is_empty h
+  | Cq c -> Cal_queue.is_empty c
+
+let clear = function Hq h -> Heap_queue.clear h | Cq c -> Cal_queue.clear c
+
+let fell_back = function
+  | Hq h -> Heap_queue.fell_back h
+  | Cq c -> Cal_queue.fell_back c

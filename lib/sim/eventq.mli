@@ -1,0 +1,90 @@
+(** The engine's replaceable event-queue boundary.
+
+    {!Engine} schedules on packed [(time, salt, seq)] int keys (built
+    with {!seq_bits}/{!salt_bits} below) and only ever needs the five
+    operations of {!EVENT_QUEUE}.  Two implementations satisfy it:
+
+    - {!Heap_queue} — the monomorphic binary heap ({!Tt_util.Intheap}),
+      O(log n) per event, insensitive to the key distribution;
+    - {!Cal_queue} — the calendar/ladder queue ({!Tt_util.Calqueue}),
+      amortized O(1) on the clustered event times simulation runs
+      actually produce, with automatic fallback to a private heap on
+      degenerate distributions.
+
+    Selection happens once, at {!create}: explicitly via the [impl]
+    argument, or from the [TT_EVQ] environment variable
+    ([heap] | [cal]/[calendar]) for A/B runs, defaulting to the calendar
+    queue.  Both implementations drain in the exact same total key
+    order, so simulated results are bit-identical whichever is active
+    (pinned by the regression suite and the heap/calendar equivalence
+    property; [scripts/check_scaling.sh] runs the whole suite both
+    ways). *)
+
+val seq_bits : int
+(** Low bits of every packed key holding the FIFO tie-break sequence
+    (20); time occupies the bits above.  Owned here because queue
+    implementations use it as the initial calendar bucket-width hint. *)
+
+val salt_bits : int
+(** High bits of the seq field used for tie-break perturbation salts
+    (8); see {!Engine.set_tiebreak}. *)
+
+module type EVENT_QUEUE = sig
+  type t
+
+  val create : unit -> t
+
+  val push : t -> int -> (unit -> unit) -> unit
+  (** [push t key fn] inserts [fn] at priority [key] (minimum first). *)
+
+  val min_key : t -> int
+  (** Key of the minimum event without removing it.
+      @raise Invalid_argument when empty. *)
+
+  val pop_exn : t -> unit -> unit
+  (** Remove the minimum event and return its callback.
+      @raise Invalid_argument when empty. *)
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val clear : t -> unit
+
+  val fell_back : t -> bool
+  (** [true] once an adaptive implementation has degraded to its
+      fallback structure; always [false] for {!Heap_queue}. *)
+end
+
+module Heap_queue : EVENT_QUEUE
+
+module Cal_queue : EVENT_QUEUE
+
+type impl = Heap | Calendar
+
+val impl_of_env : unit -> impl
+(** [TT_EVQ=heap] or [TT_EVQ=cal|calendar]; unset defaults to
+    {!Calendar}.  @raise Invalid_argument on any other value. *)
+
+val impl_label : impl -> string
+
+type t
+(** A queue tagged with its implementation. *)
+
+val create : impl -> t
+
+val impl : t -> impl
+
+val push : t -> int -> (unit -> unit) -> unit
+
+val min_key : t -> int
+
+val pop_exn : t -> unit -> unit
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val fell_back : t -> bool

@@ -1,0 +1,505 @@
+(* Calendar/ladder queue — see calqueue.mli for the design overview.
+
+   Invariants maintained throughout (referenced as I1..I5 below):
+
+   I1. every bucket item's key is < horizon and every overflow item's key
+       is >= horizon at all times, so whenever the calendar holds any
+       item at all its minimum is the global minimum;
+   I2. wstart is aligned to the bucket width and wstart <= every bucket
+       item's key (a push below wstart rewinds the window first);
+   I3. every horizon increase drains the overflow ladder below the new
+       horizon into the buckets, so I1 survives the slide;
+   I4. the cached minimum, when valid, names the front slot of the bucket
+       holding the global minimum key (pushes either keep it minimal or
+       replace it; any removal or restructure invalidates it);
+   I5. each bucket's live slots [bstart, blen) are sorted ascending by
+       key, equal keys in insertion order — so the bucket's front is its
+       minimum and popping the minimum never shifts.
+
+   Keys must be non-negative: bucket indexing uses logical shifts. *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable bkeys : int array array;  (* per-bucket key slabs *)
+  mutable bdata : 'a array array;
+  mutable bstart : int array;  (* live slots are [bstart, blen), sorted *)
+  mutable blen : int array;
+  mutable nbuckets : int;  (* power of two *)
+  mutable bmask : int;
+  mutable wshift : int;  (* bucket width = 1 lsl wshift key units *)
+  mutable cal_size : int;  (* items in buckets (ladder excluded) *)
+  mutable wstart : int;  (* aligned floor of the scan window *)
+  mutable cur : int;  (* bucket under the scan window *)
+  mutable horizon : int;  (* keys >= horizon ride the overflow ladder *)
+  overflow : 'a Intheap.t;
+  mutable heap : 'a Intheap.t option;  (* Some = adaptive fallback taken *)
+  (* cached location of the minimum (I4) *)
+  mutable cmin_valid : bool;
+  mutable cmin_bucket : int;
+  mutable cmin_index : int;
+  mutable cmin_key : int;
+  (* adaptive bookkeeping *)
+  mutable scan_work : int;  (* slots touched since the window opened *)
+  mutable pop_count : int;
+  mutable retunes : int;  (* consecutive costly windows, each one a retune *)
+  mutable nresizes : int;
+}
+
+let min_buckets = 4
+
+let max_buckets = 1 lsl 22
+
+(* Fallback trigger: average locate/insert-shift/migration work per pop,
+   evaluated every [fallback_window] pops.  Healthy steady states run at
+   ~2-4. *)
+let fallback_window = 128
+
+let fallback_scan_per_pop = 32
+
+(* Costly windows trigger a width retune: the first re-estimates from the
+   live keys, later ones force buckets 4x narrower in case the estimator
+   is being fooled.  Only after [retune_limit] consecutive costly windows
+   is the distribution declared calendar-hostile for good. *)
+let retune_limit = 4
+
+(* Key-spacing sample for the width estimate: the head-most keys only.
+   Scan cost is set by the density right at the minimum, and hold-model
+   steady states concentrate events just above it — a sample reaching
+   deep into the queue smears that spike flat. *)
+let head_sample = 16
+
+(* Degenerate-span trigger: at resize time, [n] keys spanning fewer than
+   [n] distinct values are duplicate-dominated (pigeonhole) — the one
+   distribution bucketing cannot spread.  Only trusted given evidence. *)
+let degenerate_min_size = 64
+
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let log2_ge n =
+  (* smallest s with 1 lsl s >= n *)
+  let s = ref 0 in
+  while 1 lsl !s < n do
+    incr s
+  done;
+  !s
+
+let create ?(capacity = 16) ?(wshift = 0) ~dummy () =
+  let nb =
+    min max_buckets (1 lsl log2_ge (max min_buckets capacity))
+  in
+  let wshift = max 0 (min wshift (60 - log2_ge nb)) in
+  {
+    dummy;
+    bkeys = Array.make nb [||];
+    bdata = Array.make nb [||];
+    bstart = Array.make nb 0;
+    blen = Array.make nb 0;
+    nbuckets = nb;
+    bmask = nb - 1;
+    wshift;
+    cal_size = 0;
+    wstart = 0;
+    cur = 0;
+    horizon = sat_add 0 (nb lsl wshift);
+    overflow = Intheap.create ~capacity:16 ~dummy ();
+    heap = None;
+    cmin_valid = false;
+    cmin_bucket = 0;
+    cmin_index = 0;
+    cmin_key = 0;
+    scan_work = 0;
+    pop_count = 0;
+    retunes = 0;
+    nresizes = 0;
+  }
+
+let length t =
+  match t.heap with
+  | Some h -> Intheap.length h
+  | None -> t.cal_size + Intheap.length t.overflow
+
+let is_empty t = length t = 0
+
+let fell_back t = match t.heap with Some _ -> true | None -> false
+
+let resizes t = t.nresizes
+
+let set_window t key =
+  t.wstart <- (key lsr t.wshift) lsl t.wshift;
+  t.cur <- (key lsr t.wshift) land t.bmask
+
+let slab_grow t b =
+  let ok = t.bkeys.(b) and od = t.bdata.(b) in
+  let cap = Array.length ok in
+  let ncap = if cap = 0 then 4 else cap * 2 in
+  let nk = Array.make ncap 0 and nd = Array.make ncap t.dummy in
+  Array.blit ok 0 nk 0 cap;
+  Array.blit od 0 nd 0 cap;
+  t.bkeys.(b) <- nk;
+  t.bdata.(b) <- nd
+
+(* Slide the live run back to slot 0, reclaiming popped front space. *)
+let compact_left t b =
+  let s = t.bstart.(b) and e = t.blen.(b) in
+  Array.blit t.bkeys.(b) s t.bkeys.(b) 0 (e - s);
+  let data = t.bdata.(b) in
+  Array.blit data s data 0 (e - s);
+  Array.fill data (e - s) s t.dummy;
+  t.bstart.(b) <- 0;
+  t.blen.(b) <- e - s;
+  if t.cmin_valid && t.cmin_bucket = b then t.cmin_index <- t.cmin_index - s
+
+(* Sorted insert (I5) into the key's bucket; no horizon test, no cache
+   upkeep.  Upper-bound position keeps equal keys FIFO; the common cases
+   — append at the back (monotone per-bucket arrival) and prepend into
+   reclaimed front space — are O(1). *)
+let insert_bucket t key v =
+  let b = (key lsr t.wshift) land t.bmask in
+  if
+    Array.unsafe_get t.blen b = Array.length (Array.unsafe_get t.bkeys b)
+  then begin
+    if Array.unsafe_get t.bstart b > 0 then compact_left t b
+    else slab_grow t b
+  end;
+  let s = Array.unsafe_get t.bstart b and e = Array.unsafe_get t.blen b in
+  let keys = Array.unsafe_get t.bkeys b
+  and data = Array.unsafe_get t.bdata b in
+  let pos =
+    (* monotone per-bucket arrival is the steady state: append without
+       searching when the key is >= the current back (FIFO-safe: equal
+       keys belong at the back anyway) *)
+    if e = s || key >= Array.unsafe_get keys (e - 1) then e
+    else begin
+      let lo = ref s and hi = ref e in
+      while !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        if Array.unsafe_get keys mid <= key then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    end
+  in
+  if pos = s && s > 0 then begin
+    (* new global front of the bucket: use the popped slot to its left *)
+    Array.unsafe_set keys (s - 1) key;
+    Array.unsafe_set data (s - 1) v;
+    Array.unsafe_set t.bstart b (s - 1)
+  end
+  else begin
+    Array.blit keys pos keys (pos + 1) (e - pos);
+    Array.blit data pos data (pos + 1) (e - pos);
+    Array.unsafe_set keys pos key;
+    Array.unsafe_set data pos v;
+    Array.unsafe_set t.blen b (e + 1);
+    (* mid-run shifts are the sorted representation's real cost; count
+       them so a hostile arrival order still trips the retune ladder *)
+    t.scan_work <- t.scan_work + (e - pos)
+  end;
+  t.cal_size <- t.cal_size + 1;
+  b
+
+let drain_overflow_below t limit =
+  while
+    (not (Intheap.is_empty t.overflow)) && Intheap.min_key t.overflow < limit
+  do
+    let k = Intheap.min_key t.overflow in
+    let v = Intheap.pop_exn t.overflow in
+    ignore (insert_bucket t k v);
+    (* migrations are real work: a too-narrow day that funnels everything
+       through the ladder must register as scan cost, or it would evade
+       the retune trigger forever *)
+    t.scan_work <- t.scan_work + 1
+  done
+
+(* Drain everything into a private heap and degrade permanently. *)
+let fallback t =
+  let h = Intheap.create ~capacity:(max 16 (length t)) ~dummy:t.dummy () in
+  for b = 0 to t.nbuckets - 1 do
+    let keys = t.bkeys.(b) and data = t.bdata.(b) in
+    for i = t.bstart.(b) to t.blen.(b) - 1 do
+      Intheap.push h keys.(i) data.(i);
+      data.(i) <- t.dummy
+    done;
+    t.bstart.(b) <- 0;
+    t.blen.(b) <- 0
+  done;
+  while not (Intheap.is_empty t.overflow) do
+    let k = Intheap.min_key t.overflow in
+    Intheap.push h k (Intheap.pop_exn t.overflow)
+  done;
+  t.cal_size <- 0;
+  t.cmin_valid <- false;
+  t.heap <- Some h
+
+(* Rebuild with [nb'] buckets, re-estimating the width from the live key
+   span (target: ~2 events per bucket) unless [wshift] forces one.  Items
+   are re-split against the new horizon, so compressing the day pushes
+   far items back onto the ladder and widening it pulls them in (I1/I3). *)
+let resize ?wshift:wov t nb' =
+  t.nresizes <- t.nresizes + 1;
+  let n = t.cal_size in
+  let keys = Array.make (max n 1) 0 and data = Array.make (max n 1) t.dummy in
+  let j = ref 0 in
+  for b = 0 to t.nbuckets - 1 do
+    let bk = t.bkeys.(b) and bd = t.bdata.(b) in
+    for i = t.bstart.(b) to t.blen.(b) - 1 do
+      keys.(!j) <- bk.(i);
+      data.(!j) <- bd.(i);
+      incr j
+    done
+  done;
+  (* stable order statistics: equal keys keep their gather order (= FIFO
+     insertion order, since equal keys share a sorted bucket run), and
+     the head of the sorted sequence drives the width estimate below *)
+  let idx = Array.init n (fun i -> i) in
+  if n > 1 then Array.stable_sort (fun a b -> compare keys.(a) keys.(b)) idx;
+  let kmin = ref max_int and kmax = ref 0 in
+  if n > 0 then begin
+    kmin := keys.(idx.(0));
+    kmax := keys.(idx.(n - 1))
+  end;
+  if n >= degenerate_min_size && !kmax - !kmin < n - 1 then begin
+    (* duplicate-dominated keys: bucketing cannot spread them *)
+    for i = 0 to n - 1 do
+      Intheap.push t.overflow keys.(i) data.(i)
+    done;
+    t.cal_size <- 0;
+    (* live runs already summed into [keys]; reset the slabs *)
+    Array.fill t.bstart 0 t.nbuckets 0;
+    Array.fill t.blen 0 t.nbuckets 0;
+    Array.iter (fun d -> Array.fill d 0 (Array.length d) t.dummy) t.bdata;
+    fallback t
+  end
+  else begin
+    (* Width from the mean key spacing near the HEAD of the queue, not
+       over the whole span: scan cost is set by the density right at the
+       minimum, where pops happen.  A global mean misreads skewed
+       distributions — a dense cluster crawling through a sparse tail
+       reads as sparse and keeps buckets far too wide (the tail then
+       simply rides the ladder until the window reaches it, which is
+       what the ladder is for).  With fewer than two keys there is no
+       spacing evidence; keep the width already learned. *)
+    let wshift =
+      match wov with
+      | Some w -> min w (60 - log2_ge nb')
+      | None ->
+          if n < 2 then t.wshift
+          else begin
+            let m = min n head_sample in
+            let gap = (keys.(idx.(m - 1)) - !kmin) / (m - 1) in
+            min (log2_ge (max 1 (2 * gap))) (60 - log2_ge nb')
+          end
+    in
+    t.bkeys <- Array.make nb' [||];
+    t.bdata <- Array.make nb' [||];
+    t.bstart <- Array.make nb' 0;
+    t.blen <- Array.make nb' 0;
+    t.nbuckets <- nb';
+    t.bmask <- nb' - 1;
+    t.wshift <- wshift;
+    t.cal_size <- 0;
+    t.cmin_valid <- false;
+    set_window t (if n = 0 then 0 else !kmin);
+    t.horizon <- sat_add t.wstart (nb' lsl wshift);
+    for j = 0 to n - 1 do
+      let i = idx.(j) in
+      if keys.(i) >= t.horizon then Intheap.push t.overflow keys.(i) data.(i)
+      else ignore (insert_bucket t keys.(i) data.(i))
+    done;
+    drain_overflow_below t t.horizon
+  end
+
+let push t key v =
+  if key < 0 then invalid_arg "Calqueue.push: negative key";
+  match t.heap with
+  | Some h -> Intheap.push h key v
+  | None ->
+      if t.cal_size = 0 && Intheap.is_empty t.overflow then begin
+        (* empty: re-anchor the window and horizon around the new key *)
+        set_window t key;
+        t.horizon <- sat_add t.wstart (t.nbuckets lsl t.wshift);
+        let b = insert_bucket t key v in
+        t.cmin_valid <- true;
+        t.cmin_bucket <- b;
+        t.cmin_index <- t.bstart.(b);
+        t.cmin_key <- key
+      end
+      else if key >= t.horizon then Intheap.push t.overflow key v
+      else begin
+        let b = insert_bucket t key v in
+        if key < t.wstart then set_window t key;
+        if t.cal_size = 1 || (t.cmin_valid && key < t.cmin_key) then begin
+          (* a sole bucket item beats the whole ladder by I1; a key
+             strictly below the cached minimum is below every bucket key,
+             so it sits at its bucket's front (I5).  Strict <: an equal
+             key keeps the older item first (FIFO). *)
+          t.cmin_valid <- true;
+          t.cmin_bucket <- b;
+          t.cmin_index <- t.bstart.(b);
+          t.cmin_key <- key
+        end;
+        if t.cal_size > 2 * t.nbuckets && t.nbuckets < max_buckets then
+          resize t (t.nbuckets * 2)
+      end
+
+(* Jump an empty calendar to the ladder's first populated day (I3). *)
+let migrate t =
+  set_window t (Intheap.min_key t.overflow);
+  let nh = sat_add t.wstart (t.nbuckets lsl t.wshift) in
+  drain_overflow_below t nh;
+  if nh > t.horizon then t.horizon <- nh
+
+(* Step the window one bucket forward, sliding the horizon with it. *)
+let advance t =
+  t.wstart <- t.wstart + (1 lsl t.wshift);
+  t.cur <- (t.cur + 1) land t.bmask;
+  let nh = sat_add t.wstart (t.nbuckets lsl t.wshift) in
+  if nh > t.horizon then begin
+    drain_overflow_below t nh;
+    t.horizon <- nh
+  end
+
+(* Last resort after a fruitless full lap (sparse queue after a rewind,
+   or a saturated horizon): compare every bucket's front — the bucket
+   minimum by I5 — and park the window on the smallest. *)
+let direct_search t =
+  let bb = ref (-1) and bk = ref 0 in
+  for b = 0 to t.nbuckets - 1 do
+    let s = Array.unsafe_get t.bstart b in
+    if s < Array.unsafe_get t.blen b then begin
+      let k = Array.unsafe_get (Array.unsafe_get t.bkeys b) s in
+      if !bb < 0 || k < !bk then begin
+        bb := b;
+        bk := k
+      end
+    end
+  done;
+  t.scan_work <- t.scan_work + t.nbuckets;
+  set_window t !bk;
+  t.cmin_valid <- true;
+  t.cmin_bucket <- !bb;
+  t.cmin_index <- t.bstart.(!bb);
+  t.cmin_key <- !bk
+
+(* Ensure the cached minimum is valid.  PRE: not fallen back, non-empty.
+   Only bucket fronts are inspected (I5): a front inside the window is
+   the global minimum, because any smaller key would land in this same
+   bucket and sort ahead of it. *)
+let locate t =
+  if not t.cmin_valid then begin
+    if t.cal_size = 0 then migrate t;
+    let width = 1 lsl t.wshift in
+    let laps = ref 0 in
+    while not t.cmin_valid do
+      let s = Array.unsafe_get t.bstart t.cur in
+      t.scan_work <- t.scan_work + 1;
+      if s < Array.unsafe_get t.blen t.cur then begin
+        let k = Array.unsafe_get (Array.unsafe_get t.bkeys t.cur) s in
+        (* window membership via subtraction: k >= wstart by I2 *)
+        if k - t.wstart < width then begin
+          t.cmin_valid <- true;
+          t.cmin_bucket <- t.cur;
+          t.cmin_index <- s;
+          t.cmin_key <- k
+        end
+      end;
+      if not t.cmin_valid then begin
+        incr laps;
+        if !laps >= t.nbuckets then direct_search t else advance t
+      end
+    done
+  end
+
+let min_key t =
+  match t.heap with
+  | Some h ->
+      if Intheap.is_empty h then invalid_arg "Calqueue.min_key: empty queue";
+      Intheap.min_key h
+  | None ->
+      (* a valid cache proves non-emptiness, skipping the ladder length *)
+      if not t.cmin_valid then begin
+        if length t = 0 then invalid_arg "Calqueue.min_key: empty queue";
+        locate t
+      end;
+      t.cmin_key
+
+let pop_exn t =
+  match t.heap with
+  | Some h ->
+      if Intheap.is_empty h then invalid_arg "Calqueue.pop_exn: empty queue";
+      Intheap.pop_exn h
+  | None ->
+      if not t.cmin_valid then begin
+        if length t = 0 then invalid_arg "Calqueue.pop_exn: empty queue";
+        locate t
+      end;
+      let b = t.cmin_bucket in
+      (* the minimum is its bucket's front (I4/I5): pop by advancing
+         bstart, no shifting, so equal keys stay FIFO for free *)
+      let s = Array.unsafe_get t.bstart b in
+      let data = Array.unsafe_get t.bdata b in
+      let v = Array.unsafe_get data s in
+      Array.unsafe_set data s t.dummy;
+      (if s + 1 = Array.unsafe_get t.blen b then begin
+         Array.unsafe_set t.bstart b 0;
+         Array.unsafe_set t.blen b 0;
+         t.cmin_valid <- false
+       end
+       else begin
+         let s' = s + 1 in
+         Array.unsafe_set t.bstart b s';
+         (* keep the cache warm: the new front is still the global
+            minimum while it sits inside the current window — the same
+            argument as [locate], any smaller key would sort ahead of it
+            in this same bucket *)
+         let k = Array.unsafe_get (Array.unsafe_get t.bkeys b) s' in
+         if k - t.wstart < 1 lsl t.wshift then begin
+           t.cmin_index <- s';
+           t.cmin_key <- k
+         end
+         else t.cmin_valid <- false
+       end);
+      t.cal_size <- t.cal_size - 1;
+      t.pop_count <- t.pop_count + 1;
+      if t.pop_count land (fallback_window - 1) = 0 then begin
+        (if t.scan_work > fallback_scan_per_pop * fallback_window then begin
+           if t.retunes >= retune_limit then fallback t
+           else begin
+             (* costly scans often just mean the key clustering drifted
+                away from the current bucket width (size-triggered resizes
+                cannot see that).  The first retune re-estimates from the
+                live keys; if a window is still costly the estimator is
+                being fooled, so force progressively narrower buckets.
+                Only a full ladder of costly windows abandons the
+                calendar for the heap. *)
+             t.retunes <- t.retunes + 1;
+             if t.retunes = 1 then resize t t.nbuckets
+             else resize ~wshift:(max 0 (t.wshift - 2)) t t.nbuckets
+           end
+         end
+         else t.retunes <- 0);
+        t.scan_work <- 0
+      end;
+      (* shrink with hysteresis: halving at <1/4 occupancy lands at ~1/2,
+         comfortably clear of both the shrink and grow (>2) triggers, so a
+         queue oscillating around a boundary never thrashes resizes.
+         Re-match on [heap]: the window check just above may have taken
+         the fallback. *)
+      (match t.heap with
+      | None when 4 * t.cal_size < t.nbuckets && t.nbuckets > min_buckets ->
+          resize t (t.nbuckets / 2)
+      | _ -> ());
+      v
+
+let clear t =
+  (match t.heap with Some h -> Intheap.clear h | None -> ());
+  for b = 0 to t.nbuckets - 1 do
+    Array.fill t.bdata.(b) t.bstart.(b) (t.blen.(b) - t.bstart.(b)) t.dummy;
+    t.bstart.(b) <- 0;
+    t.blen.(b) <- 0
+  done;
+  Intheap.clear t.overflow;
+  t.cal_size <- 0;
+  t.cmin_valid <- false;
+  t.scan_work <- 0;
+  t.pop_count <- 0;
+  t.retunes <- 0

@@ -1,0 +1,86 @@
+(** Monomorphic int-keyed calendar/ladder queue.
+
+    An amortized-O(1) priority queue for the event-time distributions the
+    simulation engine actually produces: keys heavily clustered within a
+    small window above the current minimum.  Keys are the same packed
+    [(time, salt, seq)] immediate ints {!Tt_sim.Engine} builds for
+    {!Intheap}; the queue never inspects the packing beyond treating the
+    key as a totally ordered int.
+
+    Structure: an array of [nbuckets] day-buckets, each a sorted run of
+    [(key, payload)] slots behind a deque start offset, where bucket
+    index is [(key lsr wshift) land (nbuckets - 1)] — i.e. each bucket
+    covers a [1 lsl wshift]-wide slice of key space, recurring every
+    [nbuckets lsl wshift] keys (one "day").  Dequeue takes the front of
+    the bucket under the current window (the bucket minimum, since runs
+    are sorted) and advances window by window; enqueue is an O(1) append
+    when per-bucket arrival is monotone — the steady state — and a
+    binary search plus one blit otherwise.  Far-future events (beyond
+    the rolling [horizon], one day ahead) sit in an overflow "year"
+    ladder (an {!Intheap}) and migrate into buckets as the horizon
+    slides over them, so bucket fronts never hide events that cannot be
+    next.
+
+    The bucket count resizes lazily on occupancy thresholds (x2 above two
+    events per bucket, /2 below one per four buckets — the gap between
+    the two thresholds is the hysteresis that keeps a queue hovering at a
+    boundary from thrashing) and each resize
+    re-estimates the bucket width from the live key span, so the queue
+    tracks the workload's clustering without tuning.
+
+    Ordering: pops are in exact non-decreasing key order.  Among {e equal}
+    keys, pops are FIFO in insertion order (sorted insertion is
+    upper-bound, so an equal key lands behind its elders, and popping
+    takes the front) — strictly stronger than {!Intheap}'s unspecified
+    equal-key order.
+
+    Adaptive fallback: distributions a calendar queue handles badly —
+    e.g. thousands of coexisting events with identical keys (the torture
+    grid's same-timestamp storms under salt collisions) — are detected
+    two ways: a resize that finds a degenerate key span, or a rolling
+    work-per-pop ratio above threshold.  A costly window first retunes
+    the bucket width (re-estimate, then force narrower in case the
+    estimator is fooled); only a degenerate span or a full ladder of
+    consecutive costly windows drains the whole structure into a private
+    {!Intheap}, permanently degrading to plain heap behaviour
+    ({!fell_back} reports it).  Key order across the switch is preserved
+    exactly. *)
+
+type 'a t
+
+val create : ?capacity:int -> ?wshift:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] builds an empty queue.  [dummy] fills unused
+    payload slots; [capacity] sizes the initial bucket array (default 16,
+    rounded up to a power of two); [wshift] is the initial
+    log2 bucket width in key units (default 0) — callers that know the
+    key packing pass the time shift so the first buckets each cover one
+    simulated cycle.  Width re-estimates itself at every resize. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+(** [push t key v] inserts [v] with priority [key] (minimum first).
+    Amortized O(1). *)
+
+val min_key : 'a t -> int
+(** Key of the minimum element without removing it.  The located position
+    is cached, so a [min_key]-then-[pop_exn] pair costs one scan.
+    @raise Invalid_argument on an empty queue. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the minimum element and return its payload.
+    @raise Invalid_argument on an empty queue. *)
+
+val clear : 'a t -> unit
+(** Empty the queue, releasing payload references but keeping capacity
+    (and any fallback state). *)
+
+val fell_back : 'a t -> bool
+(** [true] once the adaptive fallback has drained the calendar into its
+    private binary heap (see the module docs); the queue keeps working,
+    just at O(log n). *)
+
+val resizes : 'a t -> int
+(** Number of bucket-array resizes so far (diagnostic). *)

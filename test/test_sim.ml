@@ -101,6 +101,104 @@ let test_engine_hot_path_no_alloc () =
     true
     (delta < 256.0)
 
+let test_engine_after_overflow () =
+  let e = Engine.create () in
+  let max_time = max_int asr 20 in
+  (* the exact boundary is schedulable *)
+  Engine.after e max_time (fun () -> ());
+  (* one past it must raise with both operands named, not wrap *)
+  Alcotest.check_raises "after overflow"
+    (Invalid_argument
+       (Printf.sprintf
+          "Engine.after: delay %d from now=%d overflows the schedulable time \
+           budget (max %d)"
+          (max_time + 1) 0 max_time))
+    (fun () -> Engine.after e (max_time + 1) (fun () -> ()));
+  (* a delay that wraps clean past max_int back into valid range must also
+     be rejected, not silently scheduled in the "past" or future *)
+  Alcotest.check_raises "after wraparound"
+    (Invalid_argument
+       (Printf.sprintf
+          "Engine.after: delay %d from now=%d overflows the schedulable time \
+           budget (max %d)"
+          max_int 0 max_time))
+    (fun () -> Engine.after e max_int (fun () -> ()))
+
+(* Schedule past seq_limit coexisting events so [rebase] renumbers the live
+   queue, and pin that FIFO order among equal timestamps survives it. *)
+let run_rebase_fifo tiebreak () =
+  let e = Engine.create () in
+  Engine.set_tiebreak e tiebreak;
+  let seq_limit = 1 lsl 20 in
+  let log = ref [] in
+  let marker i () = log := i :: !log in
+  (* five markers at a far-future time, then enough same-time filler to
+     exhaust the seq budget without ever draining the queue ... *)
+  for i = 0 to 4 do
+    Engine.at e 1_000_000 (marker i)
+  done;
+  let fired = ref 0 in
+  for _ = 1 to seq_limit - 5 do
+    Engine.after e 0 (fun () -> incr fired)
+  done;
+  (* ... drain only the time-0 filler: the markers stay queued and keep
+     their pre-rebase seqs alive *)
+  check_bool "filler drained" false (Engine.run_until e ~limit:0);
+  check_int "filler fired" (seq_limit - 5) !fired;
+  check_int "markers still queued" 5 (Engine.pending e);
+  (* these pushes overflow seq and trigger the in-place renumbering *)
+  for i = 5 to 9 do
+    Engine.at e 1_000_000 (marker i)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO across rebase"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_engine_rebase_fifo = run_rebase_fifo None
+
+(* an all-zero salt stream must reproduce pure FIFO, including through a
+   rebase of salted keys *)
+let test_engine_rebase_fifo_tiebreak = run_rebase_fifo (Some (fun _ -> 0))
+
+(* The heap and calendar queues must produce bit-identical schedules: same
+   firing order, same clock, under nested scheduling and perturbed
+   tiebreaks alike.
+
+   The spec is capped at 500 root events (≤ 2000 scheduling decisions with
+   nesting): past 4096 decisions without a drain, a perturbed engine wraps
+   its 12-bit FIFO counter and coexisting events can carry *identical*
+   packed keys — whose relative order the engine legitimately leaves to
+   the queue (the heap reorders them, the calendar keeps FIFO).  Below the
+   wrap, every coexisting key is distinct and the order is fully pinned. *)
+let prop_engine_queue_equivalence =
+  QCheck.Test.make
+    ~name:"heap and calendar engines produce identical event logs" ~count:150
+    QCheck.(
+      pair bool
+        (list_of_size
+           Gen.(int_range 0 500)
+           (pair (int_range 0 2000) (int_range 0 3))))
+    (fun (perturb, spec) ->
+      let trace queue =
+        let e = Engine.create ~queue () in
+        if perturb then
+          Engine.set_tiebreak e (Some (fun site -> (site * 2654435761) land 0xff));
+        let log = ref [] in
+        List.iteri
+          (fun i (time, nested) ->
+            Engine.at e time (fun () ->
+                log := (i, Engine.now e) :: !log;
+                (* nested rescheduling at and after now *)
+                for j = 1 to nested do
+                  Engine.after e (j * 17 mod 5) (fun () ->
+                      log := (i + (1000 * j), Engine.now e) :: !log)
+                done))
+          spec;
+        Engine.run e;
+        (List.rev !log, Engine.now e)
+      in
+      trace Tt_sim.Eventq.Heap = trace Tt_sim.Eventq.Calendar)
+
 let test_engine_run_until () =
   let e = Engine.create () in
   let fired = ref 0 in
@@ -332,7 +430,12 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick
             test_engine_nested_scheduling;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "after overflow" `Quick test_engine_after_overflow;
+          Alcotest.test_case "rebase keeps FIFO" `Quick test_engine_rebase_fifo;
+          Alcotest.test_case "rebase keeps FIFO (zero-salt tiebreak)" `Quick
+            test_engine_rebase_fifo_tiebreak;
           QCheck_alcotest.to_alcotest prop_engine_stable_order;
+          QCheck_alcotest.to_alcotest prop_engine_queue_equivalence;
           Alcotest.test_case "hot path does not allocate" `Quick
             test_engine_hot_path_no_alloc;
         ] );

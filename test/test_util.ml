@@ -8,6 +8,7 @@ let () = Tt_util.Debug.set_pool_debug true
 module Prng = Tt_util.Prng
 module Heap = Tt_util.Heap
 module Intheap = Tt_util.Intheap
+module Calqueue = Tt_util.Calqueue
 module Vec = Tt_util.Vec
 module Bitset = Tt_util.Bitset
 module Stats = Tt_util.Stats
@@ -235,6 +236,149 @@ let prop_intheap_matches_heap =
           else Heap.pop b = Some (Intheap.pop_exn a))
         ops)
 
+(* ---------------- Calqueue ---------------- *)
+
+let test_calqueue_basic () =
+  let q = Calqueue.create ~dummy:"" () in
+  check_bool "empty" true (Calqueue.is_empty q);
+  List.iter (fun k -> Calqueue.push q k (string_of_int k)) [ 5; 3; 8; 1 ];
+  check_int "length" 4 (Calqueue.length q);
+  check_int "min_key" 1 (Calqueue.min_key q);
+  Alcotest.(check string) "pop payload of min" "1" (Calqueue.pop_exn q);
+  Alcotest.(check string) "next" "3" (Calqueue.pop_exn q);
+  Calqueue.push q 0 "0";
+  Alcotest.(check string) "new min" "0" (Calqueue.pop_exn q);
+  Calqueue.clear q;
+  check_bool "cleared" true (Calqueue.is_empty q);
+  Alcotest.check_raises "min_key on empty"
+    (Invalid_argument "Calqueue.min_key: empty queue") (fun () ->
+      ignore (Calqueue.min_key q));
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Calqueue.pop_exn: empty queue") (fun () ->
+      ignore (Calqueue.pop_exn q));
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Calqueue.push: negative key") (fun () ->
+      Calqueue.push q (-1) "x")
+
+let test_calqueue_ladder_far_future () =
+  (* near-term cluster plus events one "year" out: the far ones ride the
+     overflow ladder and still drain in exact key order *)
+  let q = Calqueue.create ~capacity:8 ~dummy:(-1) () in
+  let keys =
+    [ 3; 1_000_000_000_000; 7; 999_999_999_999; 1; 4; 1_000_000_000_001 ]
+  in
+  List.iter (fun k -> Calqueue.push q k k) keys;
+  let rec drain acc =
+    if Calqueue.is_empty q then List.rev acc
+    else begin
+      let k = Calqueue.min_key q in
+      let v = Calqueue.pop_exn q in
+      check_int "payload matches key" k v;
+      drain (k :: acc)
+    end
+  in
+  Alcotest.(check (list int)) "exact key order across the ladder"
+    (List.sort compare keys) (drain [])
+
+let test_calqueue_fifo_equal_keys () =
+  (* equal keys drain in insertion order (buckets are append-only runs) *)
+  let q = Calqueue.create ~dummy:(-1) () in
+  for i = 0 to 19 do
+    Calqueue.push q 42 i
+  done;
+  Calqueue.push q 7 100;
+  let got = ref [] in
+  while not (Calqueue.is_empty q) do
+    got := Calqueue.pop_exn q :: !got
+  done;
+  Alcotest.(check (list int)) "FIFO among equal keys"
+    (100 :: List.init 20 (fun i -> i))
+    (List.rev !got)
+
+let test_calqueue_fallback_on_duplicate_storm () =
+  (* thousands of identical keys: bucket-width estimation degenerates and
+     the queue must hand itself over to its private heap, preserving key
+     order *)
+  let q = Calqueue.create ~dummy:(-1) () in
+  for i = 0 to 4095 do
+    Calqueue.push q 1000 i
+  done;
+  check_bool "fell back" true (Calqueue.fell_back q);
+  check_int "nothing lost" 4096 (Calqueue.length q);
+  let n = ref 0 in
+  while not (Calqueue.is_empty q) do
+    check_int "all keys intact" 1000 (Calqueue.min_key q);
+    ignore (Calqueue.pop_exn q);
+    incr n
+  done;
+  check_int "drained all" 4096 !n
+
+let prop_calqueue_matches_intheap_uniform =
+  QCheck.Test.make
+    ~name:"calqueue drains the same key order as intheap (uniform keys)"
+    ~count:300
+    QCheck.(list (pair bool (int_bound 100_000)))
+    (fun ops ->
+      let q = Calqueue.create ~dummy:0 () in
+      let h = Intheap.create ~dummy:0 () in
+      List.for_all
+        (fun (is_push, k) ->
+          if is_push then begin
+            Calqueue.push q k k;
+            Intheap.push h k k;
+            true
+          end
+          else if Intheap.is_empty h then Calqueue.is_empty q
+          else begin
+            let mk = Intheap.min_key h in
+            ignore (Intheap.pop_exn h);
+            (not (Calqueue.is_empty q))
+            && Calqueue.min_key q = mk
+            && Calqueue.pop_exn q = mk
+          end)
+        ops
+      && Calqueue.length q = Intheap.length h)
+
+let prop_calqueue_matches_intheap_clustered =
+  (* engine-like keys: (time lsl 20) lor seq, times clustered near a
+     monotonically advancing now with occasional far-future jumps — the
+     distribution the calendar queue is built for, including the ladder *)
+  QCheck.Test.make
+    ~name:"calqueue drains the same key order as intheap (clustered keys)"
+    ~count:150
+    QCheck.(list (pair (int_bound 300) (int_bound 9)))
+    (fun steps ->
+      let q = Calqueue.create ~wshift:20 ~dummy:0 () in
+      let h = Intheap.create ~dummy:0 () in
+      let now = ref 0 and seq = ref 0 and ok = ref true in
+      List.iter
+        (fun (dt, burst) ->
+          (* push a small burst clustered at now+dt, rarely a year out *)
+          let time = !now + if dt = 300 then 5_000_000 else dt in
+          for _ = 0 to burst do
+            let key = (time lsl 20) lor (!seq land 0xFFFFF) in
+            incr seq;
+            Calqueue.push q key key;
+            Intheap.push h key key
+          done;
+          (* drain roughly half the queue, advancing now *)
+          for _ = 0 to burst / 2 do
+            if not (Intheap.is_empty h) then begin
+              let mk = Intheap.min_key h in
+              ignore (Intheap.pop_exn h);
+              if Calqueue.is_empty q || Calqueue.pop_exn q <> mk then
+                ok := false
+              else now := max !now (mk asr 20)
+            end
+          done)
+        steps;
+      while not (Intheap.is_empty h) do
+        let mk = Intheap.min_key h in
+        ignore (Intheap.pop_exn h);
+        if Calqueue.is_empty q || Calqueue.pop_exn q <> mk then ok := false
+      done;
+      !ok && Calqueue.is_empty q)
+
 (* ---------------- Vec ---------------- *)
 
 let test_vec_basic () =
@@ -446,6 +590,18 @@ let () =
           Alcotest.test_case "basic" `Quick test_intheap_basic;
           qc prop_intheap_sorts;
           qc prop_intheap_matches_heap;
+        ] );
+      ( "calqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_calqueue_basic;
+          Alcotest.test_case "ladder far future" `Quick
+            test_calqueue_ladder_far_future;
+          Alcotest.test_case "FIFO equal keys" `Quick
+            test_calqueue_fifo_equal_keys;
+          Alcotest.test_case "duplicate-storm fallback" `Quick
+            test_calqueue_fallback_on_duplicate_storm;
+          qc prop_calqueue_matches_intheap_uniform;
+          qc prop_calqueue_matches_intheap_clustered;
         ] );
       ( "vec",
         [
