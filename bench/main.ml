@@ -209,6 +209,40 @@ let pool_timing_parity () =
      identical with pooling disabled)\n\n%!"
     (fst on) (snd on)
 
+(* The suspension-free fast path must be timing-neutral: eliding a fiber
+   suspension may never move a simulated event.  Run the pinned round
+   trips with the fast path on and off and demand bit-identical cycle
+   counts before benchmarking (scripts/check_fastpath.sh runs the whole
+   test suite the same way). *)
+let fastpath_timing_parity () =
+  let was = Tt_sim.Thread.fastpath_enabled () in
+  let run on =
+    Tt_sim.Thread.set_fastpath on;
+    Fun.protect
+      ~finally:(fun () -> Tt_sim.Thread.set_fastpath was)
+      (fun () ->
+        let stache =
+          (fetch_round_trip (fun p -> H.Machine.typhoon_stache p)).H.Run.cycles
+        in
+        let dirnnb =
+          (fetch_round_trip (fun p -> H.Machine.dirnnb p)).H.Run.cycles
+        in
+        (stache, dirnnb))
+  in
+  let on = run true and off = run false in
+  if on <> off then begin
+    Printf.eprintf
+      "FATAL: the suspension fast path changed simulated timing: on %s, off \
+       %s\n"
+      (Printf.sprintf "(stache %d, dirnnb %d)" (fst on) (snd on))
+      (Printf.sprintf "(stache %d, dirnnb %d)" (fst off) (snd off));
+    exit 1
+  end;
+  Printf.printf
+    "fastpath timing parity: OK (stache round trip %d cycles, dirnnb %d, \
+     identical with TT_FASTPATH=0)\n\n%!"
+    (fst on) (snd on)
+
 (* Figure 4's unit: a tiny EM3D run under the update protocol. *)
 let bench_fig4 =
   let cfg =
@@ -223,19 +257,39 @@ let bench_fig4 =
          let inst = Tt_app.Em3d.make cfg ~nprocs:4 in
          ignore (H.Run.spmd machine ~name:"em3d" inst.Tt_app.Em3d.body)))
 
-(* Ablation: effect-based thread suspend/resume (DESIGN.md §5). *)
+(* Ablation: thread suspend/resume through the poll/continuation slot
+   (DESIGN.md §5c).  The wake fires during registration, so with the fast
+   path on (the default) the common case completes inline without capturing
+   a continuation; the _fast/_slow variants pin both modes explicitly. *)
+let suspend_resume_loop () =
+  let engine = Tt_sim.Engine.create () in
+  let th =
+    Tt_sim.Thread.spawn engine ~name:"t" (fun th ->
+        for _ = 1 to 100 do
+          Tt_sim.Thread.await_unit th (fun wake -> wake ())
+        done)
+  in
+  Tt_sim.Engine.run engine;
+  assert (Tt_sim.Thread.finished th)
+
+let suspend_resume_with_fastpath on () =
+  let was = Tt_sim.Thread.fastpath_enabled () in
+  Tt_sim.Thread.set_fastpath on;
+  Fun.protect
+    ~finally:(fun () -> Tt_sim.Thread.set_fastpath was)
+    suspend_resume_loop
+
 let bench_ablation_effects =
   Test.make ~name:"ablation_effect_suspend_resume"
-    (Staged.stage (fun () ->
-         let engine = Tt_sim.Engine.create () in
-         let th =
-           Tt_sim.Thread.spawn engine ~name:"t" (fun th ->
-               for _ = 1 to 100 do
-                 Tt_sim.Thread.suspend th (fun wake -> wake ())
-               done)
-         in
-         Tt_sim.Engine.run engine;
-         assert (Tt_sim.Thread.finished th)))
+    (Staged.stage suspend_resume_loop)
+
+let bench_ablation_effects_fast =
+  Test.make ~name:"ablation_effect_suspend_resume_fast"
+    (Staged.stage (suspend_resume_with_fastpath true))
+
+let bench_ablation_effects_slow =
+  Test.make ~name:"ablation_effect_suspend_resume_slow"
+    (Staged.stage (suspend_resume_with_fastpath false))
 
 (* Ablation: the paper's 6-pointer representation vs its bit-vector
    overflow form. *)
@@ -343,7 +397,8 @@ let benchmarks =
   [ bench_table1; bench_table2; bench_table3; bench_fig3_stache;
     bench_fig3_dirnnb; bench_fig3_stache_reliable;
     bench_ablation_message_pool; bench_fig4;
-    bench_ablation_effects;
+    bench_ablation_effects; bench_ablation_effects_fast;
+    bench_ablation_effects_slow;
     bench_ablation_sharers_pointers; bench_ablation_sharers_overflow;
     bench_ablation_event_queue; bench_ablation_event_queue_heap_clustered;
     bench_ablation_event_queue_cal_clustered;
@@ -394,6 +449,7 @@ let run_bechamel () =
 let () =
   print_endline "=== Tempest & Typhoon: benchmark harness ===";
   pool_timing_parity ();
+  fastpath_timing_parity ();
   if not fast then reproduce_figures ()
   else print_endline "(TT_BENCH_FAST=1: skipping figure reproduction)\n";
   ablation_summary ();

@@ -87,6 +87,13 @@ let run_cmd =
       (H.Catalog.size_label size)
       (H.Catalog.data_set_description ~name:app ~size ~scale)
       machine_name nodes r.H.Run.cycles;
+    let taken = Tt_util.Stats.get r.H.Run.run_stats "suspensions_taken"
+    and elided = Tt_util.Stats.get r.H.Run.run_stats "suspensions_elided" in
+    if taken + elided > 0 then
+      Printf.printf
+        "suspensions: %d taken, %d elided (%.1f%% suspension-free)\n" taken
+        elided
+        (100.0 *. float_of_int elided /. float_of_int (taken + elided));
     if stats then
       Format.printf "%a@." Tt_util.Stats.pp r.H.Run.run_stats
   in

@@ -40,7 +40,7 @@ let () =
     | None -> failwith "token arrived with nobody waiting"
   in
   let wait_token sys node th =
-    Thread.suspend th (fun wake ->
+    Thread.await_unit th (fun wake ->
         Hashtbl.replace wakes node (fun () ->
             Thread.set_clock th
               (max (Thread.clock th)

@@ -288,7 +288,7 @@ let flush_and_wait t ~th ~node ~kind =
     System.with_cpu_context t.sys ~node th (fun () ->
         apply_step ep ks step)
   else
-    Thread.suspend th (fun wake ->
+    Thread.await_unit th (fun wake ->
         ks.waiter <-
           Some
             ( step,

@@ -670,7 +670,7 @@ let miss_via_directory t node th ~home ~handler block =
       ~handler ~args:margs ~data:Bytes.empty
   in
   let repl =
-    Thread.suspend th (fun wake ->
+    Thread.await th (fun wake ->
         Hashtbl.replace node.pending block (fun repl ->
             Thread.set_clock th
               (max (Thread.clock th) node.ctrl.Ctrl.clock);

@@ -16,6 +16,7 @@ type t = {
   write_int : node:int -> Thread.t -> int -> int -> unit;
   alloc : node:int -> Thread.t -> ?home:int -> int -> int;
   mprefetch : node:int -> Thread.t -> int -> unit;
+  node_stats : int -> Stats.t;
   merged_stats : unit -> Stats.t;
   check_invariants : unit -> (unit, string) result;
   hooks : (string, node:int -> Thread.t -> unit) Hashtbl.t;
@@ -47,6 +48,7 @@ let typhoon_stache_full ?reliability ?max_stache_pages params =
           Stache.alloc stache ~th ~node ?home ~bytes ());
       mprefetch =
         (fun ~node th vaddr -> Stache.prefetch stache ~th ~node ~vaddr `Ro);
+      node_stats = (fun node -> Typhoon.node_stats sys node);
       merged_stats =
         (fun () ->
           let out = Stats.create "typhoon/stache" in
@@ -80,6 +82,7 @@ let dirnnb_full ?reliability params =
       alloc =
         (fun ~node th ?home bytes -> Dirnnb.alloc sys ~th ~node ?home ~bytes ());
       mprefetch = (fun ~node:_ _th _vaddr -> ());
+      node_stats = (fun node -> Dirnnb.node_stats sys node);
       merged_stats = (fun () -> Dirnnb.merged_stats sys);
       check_invariants = (fun () -> Dirnnb.check_invariants sys);
       hooks = Hashtbl.create 4;

@@ -20,6 +20,9 @@ type t = {
       (** bytes → shared virtual address *)
   mprefetch : node:int -> Tt_sim.Thread.t -> int -> unit;
       (** nonbinding prefetch hint (no-op on DirNNB) *)
+  node_stats : int -> Tt_util.Stats.t;
+      (** the per-node counter group (merged into {!merged_stats}); the
+          runner interns the per-CPU suspension counters here *)
   merged_stats : unit -> Tt_util.Stats.t;
   check_invariants : unit -> (unit, string) result;
   hooks : (string, node:int -> Tt_sim.Thread.t -> unit) Hashtbl.t;

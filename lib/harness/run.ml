@@ -62,10 +62,19 @@ let spmd (machine : Machine.t) ~name ?(check = true) ?watchdog body =
   let locks = Hashtbl.create 16 in
   let threads =
     Array.init nprocs (fun proc ->
-        Thread.spawn machine.Machine.engine
-          ~quantum:machine.Machine.mparams.Params.quantum
-          ~name:(Printf.sprintf "%s.cpu%d" name proc)
-          (fun th -> body (make_env machine ~barrier ~locks ~proc th)))
+        let th =
+          Thread.spawn machine.Machine.engine
+            ~quantum:machine.Machine.mparams.Params.quantum
+            ~name:(Printf.sprintf "%s.cpu%d" name proc)
+            (fun th -> body (make_env machine ~barrier ~locks ~proc th))
+        in
+        (* per-node fast-path observability: every full fiber suspension
+           vs every inline (elided) completion *)
+        let ns = machine.Machine.node_stats proc in
+        Thread.set_suspend_counters th
+          ~taken:(Stats.counter ns "suspensions_taken")
+          ~elided:(Stats.counter ns "suspensions_elided");
+        th)
   in
   (match watchdog with
   | None -> Engine.run machine.Machine.engine

@@ -38,6 +38,11 @@ type t = {
   mutable seq : int;
   mutable tiebreak : (int -> int) option;
   mutable tiebreak_sites : int;
+  mutable run_limit : int;
+      (* horizon of an in-progress [run_until]; [max_int] otherwise.  Inline
+         continuations ([elidable_at]) must not advance [now] past it, or a
+         watchdog-sliced run would observe different slice boundaries than
+         the equivalent one-event-per-resume schedule. *)
 }
 
 let nop () = ()
@@ -45,7 +50,7 @@ let nop () = ()
 let create ?queue () =
   let impl = match queue with Some i -> i | None -> Eventq.impl_of_env () in
   { events = Eventq.create impl; now = 0; seq = 0; tiebreak = None;
-    tiebreak_sites = 0 }
+    tiebreak_sites = 0; run_limit = max_int }
 
 let queue_impl t = Eventq.impl t.events
 
@@ -117,6 +122,19 @@ let next_event_time t =
   if Eventq.is_empty t.events then max_int
   else Eventq.min_key t.events asr seq_bits
 
+(* [elidable_at t time] decides whether a caller may advance [now] to
+   [time] with {!skip_to} and keep executing inline instead of scheduling a
+   callback at [time] and letting the queue fire it.  The two are
+   indistinguishable iff no queued event would fire at or before [time]
+   (strict: an already-queued same-time event has a smaller FIFO seq and
+   must run first), [time] is within any active [run_until] horizon, and no
+   tie-break perturber is installed — eliding an [at] call would shift every
+   later perturbation site index and break salt-journal replay. *)
+let elidable_at t time =
+  time >= t.now && time <= t.run_limit
+  && (match t.tiebreak with None -> true | Some _ -> false)
+  && (Eventq.is_empty t.events || Eventq.min_key t.events asr seq_bits > time)
+
 let skip_to t time =
   if time < t.now then
     invalid_arg
@@ -161,4 +179,5 @@ let run_until t ~limit =
       end
     end
   in
-  go ()
+  t.run_limit <- limit;
+  Fun.protect ~finally:(fun () -> t.run_limit <- max_int) go

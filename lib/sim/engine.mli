@@ -71,6 +71,16 @@ val next_event_time : t -> int
     empty.  Lets a dispatcher decide whether it may keep draining its own
     work inline (see {!skip_to}) without perturbing event order. *)
 
+val elidable_at : t -> int -> bool
+(** [elidable_at t time] is [true] when advancing [now] to [time] with
+    {!skip_to} and continuing execution inline is indistinguishable from
+    scheduling a callback at [time] and letting the queue fire it: no queued
+    event at or before [time] (strictly — a coexisting same-time event has
+    an earlier FIFO seq and must run first), [time] within an active
+    {!run_until} horizon, and no {!set_tiebreak} perturber installed
+    (eliding an {!at} call would shift every later perturbation site).
+    This is the guard behind {!Thread}'s suspension-free fast path. *)
+
 val skip_to : t -> int -> unit
 (** [skip_to t time] advances [now] to [time] without running any event.
     Only valid while no queued event would fire at or before [time]

@@ -1,18 +1,24 @@
+module Vec = Tt_util.Vec
+
 type t = {
   engine : Engine.t;
   uncontended_cost : int;
   transfer_cost : int;
   mutable held : bool;
   mutable holder_release_clock : int;
-  waiters : (Thread.t * (unit -> unit)) Queue.t;
+  (* FIFO waiter list: a preallocated Vec walked by a head cursor and reset
+     in place once drained, reused across acquisitions — no per-blocked-
+     thread queue cell or (thread, wake) tuple. *)
+  waiters : Thread.t Vec.t;
+  mutable waiters_head : int;
   mutable acquires : int;
   mutable contended : int;
 }
 
 let create engine ?(uncontended_cost = 2) ?(transfer_cost = 11) () =
   { engine; uncontended_cost; transfer_cost; held = false;
-    holder_release_clock = 0; waiters = Queue.create (); acquires = 0;
-    contended = 0 }
+    holder_release_clock = 0; waiters = Vec.create (); waiters_head = 0;
+    acquires = 0; contended = 0 }
 
 let acquires t = t.acquires
 
@@ -24,22 +30,32 @@ let acquire t th =
   if not t.held then t.held <- true
   else begin
     t.contended <- t.contended + 1;
-    Thread.suspend th (fun wake -> Queue.add (th, wake) t.waiters)
+    Thread.park th (fun () -> Vec.push t.waiters th)
   end
 
 let release t th =
   if not t.held then invalid_arg "Lock.release: lock not held";
   t.holder_release_clock <- Thread.clock th;
-  match Queue.take_opt t.waiters with
-  | None -> t.held <- false
-  | Some (waiter, wake) ->
-      (* Hand off: the waiter resumes after the holder's release plus a
-         transfer latency, or at its own arrival time if that is later. *)
-      let resume_at =
-        max (Thread.clock waiter) (t.holder_release_clock + t.transfer_cost)
-      in
-      Thread.set_clock waiter resume_at;
-      wake ()
+  if t.waiters_head >= Vec.length t.waiters then begin
+    t.held <- false;
+    Vec.reset t.waiters;
+    t.waiters_head <- 0
+  end
+  else begin
+    let waiter = Vec.get t.waiters t.waiters_head in
+    t.waiters_head <- t.waiters_head + 1;
+    if t.waiters_head = Vec.length t.waiters then begin
+      Vec.reset t.waiters;
+      t.waiters_head <- 0
+    end;
+    (* Hand off: the waiter resumes after the holder's release plus a
+       transfer latency, or at its own arrival time if that is later. *)
+    let resume_at =
+      max (Thread.clock waiter) (t.holder_release_clock + t.transfer_cost)
+    in
+    Thread.set_clock waiter resume_at;
+    Thread.unpark waiter
+  end
 
 let with_lock t th f =
   acquire t th;

@@ -142,7 +142,7 @@ let fetch_add t ~th ~node counter delta =
       ep.Tempest.send_raw ~dst:counter.c_home ~vnet:Message.Request
         ~handler:t.h_fa_req
         ~args:(scratch2 counter.c_id delta) ~data:Bytes.empty);
-  Thread.suspend th (fun wake ->
+  Thread.await th (fun wake ->
       ns.fa_wake <- Some (fun v -> wake_cpu t.sys ~node th (fun () -> wake v)))
 
 let read_counter t ~th ~node counter = fetch_add t ~th ~node counter 0
@@ -164,5 +164,5 @@ let barrier_wait t ~th ~node barrier =
       ep.Tempest.send_raw ~dst:barrier.b_home ~vnet:Message.Request
         ~handler:t.h_bar_arrive
         ~args:(scratch2 barrier.b_id barrier.b_participants) ~data:Bytes.empty);
-  Thread.suspend th (fun wake ->
+  Thread.await_unit th (fun wake ->
       ns.bar_wake <- Some (fun () -> wake_cpu t.sys ~node th wake))

@@ -473,7 +473,7 @@ let with_cpu_context t ~node th f =
 (* ------------------------------------------------------------------ *)
 
 let suspend_on_fault node th post_fault =
-  Thread.suspend th (fun wake ->
+  Thread.await_unit th (fun wake ->
       let resumption =
         Tempest.make_resumption (fun () ->
             (* the CPU retries once the NP unmasks its bus request *)

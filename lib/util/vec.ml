@@ -66,3 +66,5 @@ let of_list xs =
 let clear t =
   t.data <- [||];
   t.size <- 0
+
+let reset t = t.size <- 0

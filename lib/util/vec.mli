@@ -30,3 +30,10 @@ val to_array : 'a t -> 'a array
 val of_list : 'a list -> 'a t
 
 val clear : 'a t -> unit
+(** Empty the vector and drop its storage. *)
+
+val reset : 'a t -> unit
+(** Empty the vector but keep its storage for reuse (no allocation on the
+    next pushes).  The retained array still references the old elements;
+    use only where that retention is harmless (e.g. waiter lists holding
+    run-lifetime threads). *)

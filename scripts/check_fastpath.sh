@@ -1,0 +1,25 @@
+#!/bin/sh
+# Equivalence gate for the suspension-free fast path.
+#
+# Runs the full build + test suite twice — fast path enabled (default),
+# then with TT_FASTPATH=0 (every blocking point takes the full effect
+# suspend/resume) — so the pinned simulated-cycle regression rows in
+# test_regression.ml, the fastpath equivalence suite (test_fastpath.ml),
+# and the torture replays are all checked under both configurations.
+# Eliding a fiber switch must never move an event: any divergence fails a
+# pinned row or an equivalence property.
+#
+# The bench harness enforces the same invariant in-process
+# (fastpath_timing_parity in bench/main.ml) and records the ablation as
+# ablation_effect_suspend_resume_{fast,slow} in BENCH_RESULTS.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== fast path enabled =="
+dune build
+dune runtest --force
+
+echo "== fast path disabled (TT_FASTPATH=0) =="
+TT_FASTPATH=0 dune runtest --force
+
+echo "fastpath parity: both runs green (pinned cycle rows identical)"

@@ -9,6 +9,7 @@ module Engine = Tt_sim.Engine
 module Thread = Tt_sim.Thread
 module Barrier = Tt_sim.Barrier
 module Lock = Tt_sim.Lock
+module Stats = Tt_util.Stats
 
 let check_int = Alcotest.(check int)
 
@@ -231,7 +232,7 @@ let test_thread_suspend_resume_value () =
   let got = ref 0 in
   let _th =
     Thread.spawn e ~name:"t" (fun th ->
-        let v = Thread.suspend th (fun wake -> Engine.after e 10 (fun () -> wake 17)) in
+        let v = Thread.await th (fun wake -> Engine.after e 10 (fun () -> wake 17)) in
         got := v)
   in
   Engine.run e;
@@ -243,7 +244,7 @@ let test_thread_wake_sets_clock () =
   let _th =
     Thread.spawn e ~name:"t" (fun th ->
         Thread.advance th 5;
-        Thread.suspend th (fun wake -> Engine.at e 100 (fun () -> wake ()));
+        Thread.await_unit th (fun wake -> Engine.at e 100 (fun () -> wake ()));
         resumed_clock := Thread.clock th)
   in
   Engine.run e;
@@ -255,13 +256,65 @@ let test_thread_wake_twice_rejected () =
   let saved = ref (fun _ -> ()) in
   let _th =
     Thread.spawn e ~name:"t" (fun th ->
-        ignore (Thread.suspend th (fun wake -> saved := wake)))
+        ignore (Thread.await th (fun wake -> saved := wake)))
   in
   Engine.run e;
   !saved 0;
   Engine.run e;
   Alcotest.check_raises "second wake rejected"
     (Invalid_argument "Thread t woken twice") (fun () -> !saved 0)
+
+(* Fast-path slot: a waker that fires before registration returns must
+   deliver its value inline, with no fiber suspension. *)
+let test_thread_wake_before_registration_returns () =
+  let e = Engine.create () in
+  let ns = Stats.create "slot" in
+  let got = ref 0 in
+  let _th =
+    Thread.spawn e ~name:"t" (fun th ->
+        Thread.set_suspend_counters th
+          ~taken:(Stats.counter ns "suspensions_taken")
+          ~elided:(Stats.counter ns "suspensions_elided");
+        got := Thread.await th (fun wake -> wake 42))
+  in
+  Engine.run e;
+  check_int "value delivered inline" 42 !got;
+  if Thread.fastpath_enabled () then begin
+    check_int "no suspension taken" 0 (Stats.get ns "suspensions_taken");
+    check_int "one suspension elided" 1 (Stats.get ns "suspensions_elided")
+  end
+
+(* A wake that fires during registration while a same-time event is already
+   queued must NOT run the continuation inline: the queued event holds the
+   smaller FIFO sequence number and has to fire first. *)
+let test_thread_wake_during_registration_ordering () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let _th =
+    Thread.spawn e ~name:"t" (fun th ->
+        Thread.await_unit th (fun wake ->
+            Engine.at e 0 (fun () -> order := "queued" :: !order);
+            wake ());
+        order := "resumed" :: !order)
+  in
+  Engine.run e;
+  check_bool "queued event fired before the woken thread" true
+    (List.rev !order = [ "queued"; "resumed" ])
+
+(* Both wakes land inside the registration closure: the second must be
+   rejected with the same error the post-suspension path raises. *)
+let test_thread_double_fire_in_registration () =
+  let e = Engine.create () in
+  let _th =
+    Thread.spawn e ~name:"t" (fun th ->
+        ignore
+          (Thread.await th (fun wake ->
+               wake 1;
+               wake 2)))
+  in
+  Alcotest.check_raises "second fire rejected"
+    (Thread.Failure_in ("t", Invalid_argument "Thread t woken twice"))
+    (fun () -> Engine.run e)
 
 let test_thread_exception_wrapped () =
   let e = Engine.create () in
@@ -447,6 +500,12 @@ let () =
           Alcotest.test_case "wake sets clock" `Quick test_thread_wake_sets_clock;
           Alcotest.test_case "wake twice rejected" `Quick
             test_thread_wake_twice_rejected;
+          Alcotest.test_case "wake before registration returns" `Quick
+            test_thread_wake_before_registration_returns;
+          Alcotest.test_case "wake during registration keeps FIFO order"
+            `Quick test_thread_wake_during_registration_ordering;
+          Alcotest.test_case "double fire in registration rejected" `Quick
+            test_thread_double_fire_in_registration;
           Alcotest.test_case "exception wrapped" `Quick
             test_thread_exception_wrapped;
           Alcotest.test_case "quantum interleaving" `Quick
