@@ -243,6 +243,41 @@ let fastpath_timing_parity () =
      identical with TT_FASTPATH=0)\n\n%!"
     (fst on) (snd on)
 
+(* Finite buffering must be free when buffers are ample: with the default
+   credit pools (which the reliable transport's send window can never
+   exhaust) the flow-control layer is pure integer bookkeeping, so the
+   pinned round trips must cost bit-identical cycles with the layer on and
+   off (scripts/check_flowcontrol.sh runs the whole test suite the same
+   way). *)
+let flowcontrol_timing_parity () =
+  let was = Tt_net.Flow.enabled () in
+  let run on =
+    Tt_net.Flow.set_enabled on;
+    Fun.protect
+      ~finally:(fun () -> Tt_net.Flow.set_enabled was)
+      (fun () ->
+        let stache =
+          (fetch_round_trip (fun p -> H.Machine.typhoon_stache p)).H.Run.cycles
+        in
+        let dirnnb =
+          (fetch_round_trip (fun p -> H.Machine.dirnnb p)).H.Run.cycles
+        in
+        (stache, dirnnb))
+  in
+  let on = run true and off = run false in
+  if on <> off then begin
+    Printf.eprintf
+      "FATAL: flow control changed simulated timing under ample credits: on \
+       %s, off %s\n"
+      (Printf.sprintf "(stache %d, dirnnb %d)" (fst on) (snd on))
+      (Printf.sprintf "(stache %d, dirnnb %d)" (fst off) (snd off));
+    exit 1
+  end;
+  Printf.printf
+    "flowcontrol timing parity: OK (stache round trip %d cycles, dirnnb %d, \
+     identical with TT_FLOW=0)\n\n%!"
+    (fst on) (snd on)
+
 (* Figure 4's unit: a tiny EM3D run under the update protocol. *)
 let bench_fig4 =
   let cfg =
@@ -450,6 +485,7 @@ let () =
   print_endline "=== Tempest & Typhoon: benchmark harness ===";
   pool_timing_parity ();
   fastpath_timing_parity ();
+  flowcontrol_timing_parity ();
   if not fast then reproduce_figures ()
   else print_endline "(TT_BENCH_FAST=1: skipping figure reproduction)\n";
   ablation_summary ();

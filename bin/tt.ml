@@ -94,6 +94,14 @@ let run_cmd =
         "suspensions: %d taken, %d elided (%.1f%% suspension-free)\n" taken
         elided
         (100.0 *. float_of_int elided /. float_of_int (taken + elided));
+    let spilled = Tt_util.Stats.get r.H.Run.run_stats "flow.spilled"
+    and blocked = Tt_util.Stats.get r.H.Run.run_stats "flow.blocked" in
+    if spilled + blocked > 0 then
+      Printf.printf
+        "flow control: %d handler sends spilled, %d CPU sends blocked (peak \
+         %d parked)\n"
+        spilled blocked
+        (Tt_util.Stats.get r.H.Run.run_stats "flow.peak_queued");
     if stats then
       Format.printf "%a@." Tt_util.Stats.pp r.H.Run.run_stats
   in
@@ -382,13 +390,45 @@ let faults_cmd =
              (overrides the $(b,--drops) axis on that vnet; dup/reorder \
              rates follow it).")
   in
-  let run apps machine drops seeds request_drop response_drop nodes scale =
+  let burst_t =
+    Arg.(
+      value & flag
+      & info [ "burst" ]
+          ~doc:
+            "Gilbert\xE2\x80\x93Elliott bursty loss: each link is a two-state \
+             Markov chain; the bad state concentrates the configured rates \
+             into bursts (clean good state, 10\xC3\x97 bad state, mean burst \
+             length 4 sends).")
+  in
+  let credits_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "credits" ]
+          ~doc:
+            "Flow-control credits per (src,dst,vnet) for the faulty runs \
+             (default: ample). Small values exercise the \xC2\xA75.1 \
+             overflow/backpressure path.")
+  in
+  let spill_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spill" ]
+          ~doc:
+            "Per-node overflow-buffer capacity for the faulty runs (default: \
+             ample). Overflowing it aborts that grid cell with a diagnostic \
+             instead of buffering without bound.")
+  in
+  let run apps machine drops seeds request_drop response_drop burst credits
+      spill nodes scale =
     let pct = Option.map (fun p -> p /. 100.0) in
     let drops = List.map (fun p -> p /. 100.0) drops in
+    let burst = if burst then Some (Tt_net.Faults.bursty ()) else None in
     let points =
       H.Faultsweep.run ~apps ~machine ~drops ~seeds
         ?request_drop:(pct request_drop) ?response_drop:(pct response_drop)
-        ~scale ~nodes ()
+        ?burst ?credits ?spill ~scale ~nodes ()
     in
     print_string (H.Faultsweep.render points);
     print_newline ();
@@ -416,7 +456,7 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run $ apps_t $ machine_t $ drops_t $ seeds_t $ req_drop_t
-      $ resp_drop_t $ nodes_t $ scale_t)
+      $ resp_drop_t $ burst_t $ credits_t $ spill_t $ nodes_t $ scale_t)
 
 (* --- tt torture --- *)
 

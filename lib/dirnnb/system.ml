@@ -57,6 +57,7 @@ module Ctrl = struct
     mutable ring : Message.t array;
     mutable head : int;
     mutable count : int;
+    mutable handled : int;
     mutable exec : Message.t -> unit;
     mutable self : unit -> unit;
   }
@@ -80,6 +81,7 @@ module Ctrl = struct
       t.ring.(t.head) <- Message.dummy;
       t.head <- (t.head + 1) land (Array.length t.ring - 1);
       t.count <- t.count - 1;
+      t.handled <- t.handled + 1;
       t.exec msg;
       Message.Pool.release msg;
       (* keep draining inline while no engine event is due at or before the
@@ -95,6 +97,7 @@ module Ctrl = struct
   let create engine =
     let t =
       { engine; clock = 0; busy = false; ring = [||]; head = 0; count = 0;
+        handled = 0;
         exec = (fun _ -> invalid_arg "Ctrl: exec not installed");
         self = (fun () -> ()) }
     in
@@ -789,6 +792,21 @@ let cpu_write_int t ~node th vaddr v =
   cpu_access t ~node th Tag.Store vaddr;
   Pagemem.write_int t.nodes.(page_home t ~vpage:(Addr.page_of vaddr)).mem ~vaddr
     v
+
+(* Protocol messages executed across all directory controllers: the
+   machine's delivery-progress metric for the watchdog (see Np.handled). *)
+let delivered t =
+  Array.fold_left (fun acc n -> acc + n.ctrl.Ctrl.handled) 0 t.nodes
+
+let queue_summary t =
+  let b = Buffer.create 64 in
+  Array.iter
+    (fun n ->
+      if n.ctrl.Ctrl.count > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "ctrl%d depth=%d; " n.id n.ctrl.Ctrl.count))
+    t.nodes;
+  if Buffer.length b = 0 then "all queues empty" else Buffer.contents b
 
 let merged_stats t =
   let out = Stats.create "dirnnb" in

@@ -54,6 +54,15 @@ val node_stats : t -> int -> Tt_util.Stats.t
 
 val merged_stats : t -> Tt_util.Stats.t
 
+val delivered : t -> int
+(** Protocol messages executed across all directory controllers — the
+    delivery-progress metric the {!Tt_harness.Watchdog} no-progress budget
+    watches. *)
+
+val queue_summary : t -> string
+(** One-line controller-inbox occupancy summary for watchdog
+    diagnostics. *)
+
 val cpu_access :
   t -> node:int -> Tt_sim.Thread.t -> Tt_mem.Tag.access -> int -> unit
 

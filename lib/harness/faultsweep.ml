@@ -17,6 +17,8 @@ type point = {
   dropped : int;
   duplicated : int;
   reordered : int;
+  spilled : int;
+  blocked : int;
   outcome : outcome;
 }
 
@@ -37,24 +39,40 @@ let make_machine ~machine ?reliability params =
    axis rate for that vnet only; the taxonomy still follows each vnet's
    effective drop rate, so an asymmetric grid cell (lossy requests under
    clean responses, or vice versa) keeps the same fault mix per vnet. *)
-let config_of ?request_drop ?response_drop ~drop ~seed () =
+let config_of ?request_drop ?response_drop ?burst ~drop ~seed () =
   let rates d =
     { Faults.drop = d; dup = d /. 4.0; reorder = d /. 2.0 }
   in
   let req = Option.value request_drop ~default:drop in
   let resp = Option.value response_drop ~default:drop in
-  Faults.per_vnet ~seed ~request:(rates req) ~response:(rates resp) ()
+  Faults.per_vnet ~seed ?burst ~request:(rates req) ~response:(rates resp) ()
 
 let total_msgs stats =
   Stats.get stats "msgs.request" + Stats.get stats "msgs.response"
 
-let run_app ?request_drop ?response_drop ~machine ~name ~size ~scale ~nodes
-    ~drops ~seeds () =
-  let params = { Params.default with Params.nodes } in
-  (* fault-free baseline: the oracle every faulty run must match, and the
-     yardstick for the watchdog budgets *)
+let run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine ~name
+    ~size ~scale ~nodes ~drops ~seeds () =
+  (* fault-free baseline under ample default capacities: the oracle every
+     faulty run must match, and the yardstick for the watchdog budgets —
+     never the overload configuration itself *)
+  let base_params = { Params.default with Params.nodes } in
+  (* grid cells may additionally squeeze the flow-control capacities, so a
+     fault storm meets real backpressure (spills, blocked senders) instead
+     of unbounded parking *)
+  let params =
+    let p = base_params in
+    let p =
+      match credits with
+      | Some c ->
+          { p with Params.flow_request_credits = c; flow_response_credits = c }
+      | None -> p
+    in
+    match spill with
+    | Some s -> { p with Params.flow_spill_capacity = s }
+    | None -> p
+  in
   let base, base_msgs =
-    let m = make_machine ~machine params in
+    let m = make_machine ~machine base_params in
     let app = Catalog.make ~name ~size ~scale ~nprocs:nodes in
     let r = Run.spmd m ~name app.Catalog.body in
     ignore
@@ -67,13 +85,14 @@ let run_app ?request_drop ?response_drop ~machine ~name ~size ~scale ~nodes
         (fun seed ->
           let reliability =
             Reliable.Flaky
-              (config_of ?request_drop ?response_drop ~drop ~seed ())
+              (config_of ?request_drop ?response_drop ?burst ~drop ~seed ())
           in
           let m = make_machine ~machine ~reliability params in
           let watchdog =
             Watchdog.create
               ~max_cycles:((base.Run.cycles * 100) + 5_000_000)
               ~max_retransmits:((base_msgs * 10) + 100_000)
+              ~max_stall:((base.Run.cycles * 10) + 1_000_000)
               ()
           in
           let app = Catalog.make ~name ~size ~scale ~nprocs:nodes in
@@ -92,6 +111,8 @@ let run_app ?request_drop ?response_drop ~machine ~name ~size ~scale ~nodes
               dropped = Stats.get s "faults.dropped";
               duplicated = Stats.get s "faults.duplicated";
               reordered = Stats.get s "faults.reordered";
+              spilled = Stats.get s "flow.spilled";
+              blocked = Stats.get s "flow.blocked";
               outcome;
             }
           in
@@ -107,6 +128,8 @@ let run_app ?request_drop ?response_drop ~machine ~name ~size ~scale ~nodes
           | r -> finish Passed r.Run.cycles
           | exception Reliable.Link_failed msg ->
               finish (Failed ("Link_failed: " ^ msg)) 0
+          | exception Tt_net.Overload.Overload msg ->
+              finish (Failed ("Overload: " ^ msg)) 0
           | exception Watchdog.Expired msg -> finish (Failed msg) 0
           | exception Run.Stuck msg -> finish (Failed msg) 0
           | exception Failure msg -> finish (Failed msg) 0
@@ -117,11 +140,12 @@ let run_app ?request_drop ?response_drop ~machine ~name ~size ~scale ~nodes
 
 let run ?(apps = Catalog.names) ?(machine = "stache")
     ?(drops = [ 0.01; 0.05 ]) ?(seeds = [ 1; 2; 3 ]) ?request_drop
-    ?response_drop ?(size = Catalog.Small) ?(scale = 0.25) ?(nodes = 8) () =
+    ?response_drop ?burst ?credits ?spill ?(size = Catalog.Small)
+    ?(scale = 0.25) ?(nodes = 8) () =
   List.concat_map
     (fun name ->
-      run_app ?request_drop ?response_drop ~machine ~name ~size ~scale ~nodes
-        ~drops ~seeds ())
+      run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine
+        ~name ~size ~scale ~nodes ~drops ~seeds ())
     apps
 
 let all_passed points =
@@ -142,6 +166,7 @@ let render points =
           ("acks", Tt_util.Tablefmt.Right);
           ("dropped", Tt_util.Tablefmt.Right);
           ("dup", Tt_util.Tablefmt.Right); ("reord", Tt_util.Tablefmt.Right);
+          ("spill", Tt_util.Tablefmt.Right); ("blk", Tt_util.Tablefmt.Right);
           ("result", Tt_util.Tablefmt.Left) ]
   in
   List.iter
@@ -157,6 +182,7 @@ let render points =
           string_of_int p.data_sent; string_of_int p.retransmits;
           string_of_int p.acks; string_of_int p.dropped;
           string_of_int p.duplicated; string_of_int p.reordered;
+          string_of_int p.spilled; string_of_int p.blocked;
           (match p.outcome with Passed -> "ok" | Failed m -> "FAIL: " ^ m) ])
     points;
   Tt_util.Tablefmt.render t

@@ -24,6 +24,8 @@ type point = {
   dropped : int;
   duplicated : int;
   reordered : int;
+  spilled : int;  (** handler sends redirected to the §5.1 overflow buffer *)
+  blocked : int;  (** CPU sends that parked on exhausted credits *)
   outcome : outcome;
 }
 
@@ -31,24 +33,31 @@ val machines : string list
 (** Accepted machine names: ["stache"], ["dirnnb"], ["update"]. *)
 
 val config_of :
-  ?request_drop:float -> ?response_drop:float -> drop:float -> seed:int ->
-  unit -> Tt_net.Faults.config
+  ?request_drop:float -> ?response_drop:float -> ?burst:Tt_net.Faults.burst ->
+  drop:float -> seed:int -> unit -> Tt_net.Faults.config
 (** The sweep's fault taxonomy for one grid cell: drop at the given rate,
     duplicate at a quarter of it, reorder at half of it, on both vnets.
     [request_drop]/[response_drop] override the drop rate for that vnet
     only (the per-vnet dup/reorder rates follow the vnet's effective drop
     rate), giving asymmetric cells such as a lossy request network under a
-    clean response network. *)
+    clean response network.  [burst] turns the rates into Gilbert–Elliott
+    bursty loss (see {!Tt_net.Faults.bursty}). *)
 
 val run :
   ?apps:string list -> ?machine:string -> ?drops:float list ->
   ?seeds:int list -> ?request_drop:float -> ?response_drop:float ->
+  ?burst:Tt_net.Faults.burst -> ?credits:int -> ?spill:int ->
   ?size:Catalog.size -> ?scale:float -> ?nodes:int ->
   unit -> point list
 (** Defaults: all catalog apps, machine ["stache"], drops [[0.01; 0.05]],
     seeds [[1; 2; 3]], small data sets at scale 0.25 on 8 nodes.
     [request_drop]/[response_drop] apply the same per-vnet override to
-    every grid cell (the [drops] axis still sets the other vnet's rate). *)
+    every grid cell (the [drops] axis still sets the other vnet's rate).
+    [credits]/[spill] squeeze the flow-control capacities for the faulty
+    runs (the baseline always uses the ample defaults), so cells exercise
+    real backpressure: spilled handler sends, blocked CPU senders, and —
+    when the spill capacity is small enough — a graceful [Overload] abort
+    instead of unbounded buffering. *)
 
 val all_passed : point list -> bool
 

@@ -19,6 +19,11 @@ type t = {
   node_stats : int -> Stats.t;
   merged_stats : unit -> Stats.t;
   check_invariants : unit -> (unit, string) result;
+  (* watchdog probes: delivered-work progress counter, queue-occupancy
+     renderer, and waits-for-graph deadlock check *)
+  delivered : unit -> int;
+  queues : unit -> string;
+  deadlock : unit -> string option;
   hooks : (string, node:int -> Thread.t -> unit) Hashtbl.t;
   special_allocs :
     (string, node:int -> Thread.t -> ?home:int -> int -> int) Hashtbl.t;
@@ -56,6 +61,9 @@ let typhoon_stache_full ?reliability ?max_stache_pages params =
           Stats.merge_into ~dst:out (Stache.stats stache);
           out);
       check_invariants = (fun () -> Stache.check_invariants stache);
+      delivered = (fun () -> Typhoon.delivered sys);
+      queues = (fun () -> Typhoon.queue_summary sys);
+      deadlock = (fun () -> Typhoon.deadlock_probe sys);
       hooks = Hashtbl.create 4;
       special_allocs = Hashtbl.create 4;
     }
@@ -85,6 +93,9 @@ let dirnnb_full ?reliability params =
       node_stats = (fun node -> Dirnnb.node_stats sys node);
       merged_stats = (fun () -> Dirnnb.merged_stats sys);
       check_invariants = (fun () -> Dirnnb.check_invariants sys);
+      delivered = (fun () -> Dirnnb.delivered sys);
+      queues = (fun () -> Dirnnb.queue_summary sys);
+      deadlock = (fun () -> None);
       hooks = Hashtbl.create 4;
       special_allocs = Hashtbl.create 4;
     }

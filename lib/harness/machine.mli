@@ -25,6 +25,13 @@ type t = {
           runner interns the per-CPU suspension counters here *)
   merged_stats : unit -> Tt_util.Stats.t;
   check_invariants : unit -> (unit, string) result;
+  delivered : unit -> int;
+      (** monotone delivered-work counter — {!Watchdog}'s progress probe *)
+  queues : unit -> string;
+      (** queue-occupancy summary for watchdog diagnostics *)
+  deadlock : unit -> string option;
+      (** flow-control waits-for-cycle probe (always [None] on DirNNB,
+          whose hardware protocol has no finite-credit layer) *)
   hooks : (string, node:int -> Tt_sim.Thread.t -> unit) Hashtbl.t;
       (** protocol-specific operations exposed to applications *)
   special_allocs :

@@ -79,7 +79,10 @@ let spmd (machine : Machine.t) ~name ?(check = true) ?watchdog body =
   (match watchdog with
   | None -> Engine.run machine.Machine.engine
   | Some w ->
-      Watchdog.drive w machine.Machine.engine ~retransmits:(fun () ->
+      Watchdog.drive w machine.Machine.engine
+        ~progress:machine.Machine.delivered ~queues:machine.Machine.queues
+        ~deadlock:machine.Machine.deadlock
+        ~retransmits:(fun () ->
           Tt_net.Reliable.retransmits machine.Machine.net));
   Array.iteri
     (fun i th ->

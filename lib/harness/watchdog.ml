@@ -3,24 +3,34 @@ module Engine = Tt_sim.Engine
 type t = {
   max_cycles : int option;
   max_retransmits : int option;
+  max_stall : int option;
   check_interval : int;
 }
 
 exception Expired of string
 
-let create ?max_cycles ?max_retransmits ?(check_interval = 10_000) () =
+let create ?max_cycles ?max_retransmits ?max_stall ?(check_interval = 10_000)
+    () =
   (match max_cycles with
   | Some c when c <= 0 -> invalid_arg "Watchdog.create: bad cycle budget"
   | Some _ | None -> ());
   (match max_retransmits with
   | Some r when r < 0 -> invalid_arg "Watchdog.create: bad retransmit budget"
   | Some _ | None -> ());
+  (match max_stall with
+  | Some s when s <= 0 -> invalid_arg "Watchdog.create: bad stall budget"
+  | Some _ | None -> ());
   if check_interval <= 0 then invalid_arg "Watchdog.create: bad interval";
-  if max_cycles = None && max_retransmits = None then
+  if max_cycles = None && max_retransmits = None && max_stall = None then
     invalid_arg "Watchdog.create: no budget given";
-  { max_cycles; max_retransmits; check_interval }
+  { max_cycles; max_retransmits; max_stall; check_interval }
 
-let drive t engine ~retransmits =
+let drive ?progress ?queues ?deadlock t engine ~retransmits =
+  let occupancy () =
+    match queues with
+    | Some q -> "; queues: " ^ q ()
+    | None -> ""
+  in
   let check_retransmits ~completed =
     match t.max_retransmits with
     | Some budget ->
@@ -30,10 +40,55 @@ let drive t engine ~retransmits =
             (Expired
                (Printf.sprintf
                   "watchdog: retransmission budget exceeded (%d > %d) at \
-                   cycle %d with %d events pending%s — livelocked link?"
+                   cycle %d with %d events pending%s — livelocked link?%s"
                   r budget (Engine.now engine) (Engine.pending engine)
-                  (if completed then " (run completed)" else "")))
+                  (if completed then " (run completed)" else "")
+                  (occupancy ())))
     | None -> ()
+  in
+  (* Delivery-progress budget: [progress] is a monotone delivered-work
+     counter; if it sits still for [max_stall] simulated cycles while
+     events are pending, the machine is wedged — blocked senders waiting on
+     credits nobody will return, or a protocol spinning without delivering.
+     The [deadlock] probe (a waits-for-graph check) is consulted only on
+     stalled slices, so a transient cycle that in-flight credit returns
+     are about to break is never reported. *)
+  let last_progress = ref (match progress with Some p -> p () | None -> 0) in
+  let last_progress_at = ref (Engine.now engine) in
+  let check_progress () =
+    match (t.max_stall, progress) with
+    | Some budget, Some p ->
+        let now_progress = p () in
+        if now_progress > !last_progress then begin
+          last_progress := now_progress;
+          last_progress_at := Engine.now engine
+        end
+        else begin
+          (match deadlock with
+          | Some probe -> (
+              match probe () with
+              | Some diag ->
+                  raise
+                    (Expired
+                       (Printf.sprintf
+                          "watchdog: deadlock detected at cycle %d — %s; %d \
+                           retransmissions, %d events pending%s"
+                          (Engine.now engine) diag (retransmits ())
+                          (Engine.pending engine) (occupancy ())))
+              | None -> ())
+          | None -> ());
+          if Engine.now engine - !last_progress_at > budget then
+            raise
+              (Expired
+                 (Printf.sprintf
+                    "watchdog: no delivery progress for %d cycles (stuck at \
+                     %d delivered since cycle %d) with %d events pending and \
+                     %d retransmissions%s"
+                    (Engine.now engine - !last_progress_at)
+                    !last_progress !last_progress_at (Engine.pending engine)
+                    (retransmits ()) (occupancy ())))
+        end
+    | _ -> ()
   in
   let rec loop target =
     let target =
@@ -48,14 +103,16 @@ let drive t engine ~retransmits =
       check_retransmits ~completed:true
     else begin
       check_retransmits ~completed:false;
+      check_progress ();
       (match t.max_cycles with
       | Some budget when target >= budget ->
           raise
             (Expired
                (Printf.sprintf
                   "watchdog: simulated-cycle budget %d exceeded with %d \
-                   events still pending and %d retransmissions so far"
-                  budget (Engine.pending engine) (retransmits ())))
+                   events still pending and %d retransmissions so far%s"
+                  budget (Engine.pending engine) (retransmits ())
+                  (occupancy ())))
       | Some _ | None -> ());
       loop (target + t.check_interval)
     end

@@ -1,29 +1,53 @@
-(** Global progress oracle: livelock detection for simulation runs.
+(** Global progress oracle: livelock and deadlock detection for runs.
 
-    The quiescence check in {!Run} catches deadlock (the event queue drains
-    with processors unfinished), but a livelocked run — retransmission
-    storms, a protocol ping-ponging forever — keeps the queue busy and
-    never returns.  The watchdog drives the engine in bounded slices and
-    aborts with {!Expired} once a simulated-cycle or retransmission budget
-    is exceeded. *)
+    The quiescence check in {!Run} catches one deadlock shape (the event
+    queue drains with processors unfinished), but a livelocked run —
+    retransmission storms, a protocol ping-ponging forever — keeps the
+    queue busy and never returns, and a flow-control deadlock (senders
+    parked on credits nobody will return) can idle along on retransmission
+    traffic alone.  The watchdog drives the engine in bounded slices and
+    aborts with {!Expired} once a simulated-cycle, retransmission, or
+    delivery-stall budget is exceeded — never a silent hang. *)
 
 type t
 
 exception Expired of string
 
 val create :
-  ?max_cycles:int -> ?max_retransmits:int -> ?check_interval:int -> unit -> t
+  ?max_cycles:int ->
+  ?max_retransmits:int ->
+  ?max_stall:int ->
+  ?check_interval:int ->
+  unit ->
+  t
 (** [max_cycles]: abort once simulated time passes this with events still
     pending.  [max_retransmits]: abort once the reliable transport has
-    retransmitted more than this many messages.  [check_interval] (default
-    10k cycles): how often budgets are re-checked.  Either budget may be
-    omitted, but not both — a watchdog with nothing to enforce is rejected
-    with [Invalid_argument]. *)
+    retransmitted more than this many messages.  [max_stall]: abort once
+    the delivered-work counter (the [progress] callback of {!drive}) sits
+    still for this many simulated cycles with events pending.
+    [check_interval] (default 10k cycles): how often budgets are
+    re-checked.  Budgets may be omitted, but not all — a watchdog with
+    nothing to enforce is rejected with [Invalid_argument]. *)
 
-val drive : t -> Tt_sim.Engine.t -> retransmits:(unit -> int) -> unit
+val drive :
+  ?progress:(unit -> int) ->
+  ?queues:(unit -> string) ->
+  ?deadlock:(unit -> string option) ->
+  t ->
+  Tt_sim.Engine.t ->
+  retransmits:(unit -> int) ->
+  unit
 (** Run the engine to completion in [check_interval]-sized slices,
     re-checking budgets between slices and once more when the engine
-    drains, so a retransmit budget blown during the final partial slice
-    of a completed run is still reported.  Both {!Expired} messages
-    include the current retransmit count and the number of pending
-    events.  @raise Expired on a blown budget. *)
+    drains, so a retransmit budget blown during the final partial slice of
+    a completed run is still reported.
+
+    [progress] is the machine's monotone delivered-work counter (e.g.
+    {!Tt_typhoon.System.delivered}); required for [max_stall] to have any
+    effect.  [queues] renders a queue-occupancy summary appended to every
+    {!Expired} message.  [deadlock] is a waits-for-graph probe (e.g.
+    {!Tt_typhoon.System.deadlock_probe}) consulted only on slices with
+    zero progress — a reported cycle aborts immediately with the probe's
+    diagnostic naming the blocked nodes.  All {!Expired} messages include
+    the current retransmit count and the number of pending events.
+    @raise Expired on a blown budget or a detected deadlock. *)

@@ -17,6 +17,7 @@ type t = {
   node_count : int;
   net_latency : int;
   local_latency : int;
+  capacity : int; (* max messages in flight; [max_int] = unbounded *)
   words_per_cycle : int option;
   port_free : int array; (* contention model: next free time per dst port *)
   receivers : (Message.t -> unit) option array;
@@ -48,15 +49,17 @@ let deliver t =
            msg.Message.dst msg.Message.src msg.Message.dst msg.Message.handler
            (Message.vnet_to_string msg.Message.vnet))
 
-let create engine ~nodes ~latency ?(local_latency = 1) ?words_per_cycle () =
+let create engine ~nodes ~latency ?(local_latency = 1) ?words_per_cycle
+    ?(capacity = max_int) () =
   if nodes <= 0 then invalid_arg "Fabric.create";
   (match words_per_cycle with
   | Some w when w <= 0 -> invalid_arg "Fabric.create: bad bandwidth"
   | Some _ | None -> ());
+  if capacity <= 0 then invalid_arg "Fabric.create: bad capacity";
   let counters = Stats.create "network" in
   let t =
     { engine; node_count = nodes; net_latency = latency; local_latency;
-      words_per_cycle; port_free = Array.make nodes 0;
+      capacity; words_per_cycle; port_free = Array.make nodes 0;
       receivers = Array.make nodes None;
       inflight = Tt_util.Intheap.create ~capacity:64 ~dummy:Message.dummy ();
       fseq = 0;
@@ -109,6 +112,16 @@ let send t ~at msg =
     invalid_arg
       (Printf.sprintf "Fabric.send: bad destination %d (fabric has %d nodes)"
          msg.Message.dst t.node_count);
+  if Tt_util.Intheap.length t.inflight >= t.capacity then
+    raise
+      (Overload.Overload
+         (Printf.sprintf
+            "Fabric: in-flight buffer full (%d messages, capacity %d) \
+             sending src=%d dst=%d vnet=%s at t=%d"
+            (Tt_util.Intheap.length t.inflight)
+            t.capacity msg.Message.src msg.Message.dst
+            (Message.vnet_to_string msg.Message.vnet)
+            at));
   (match msg.Message.vnet with
   | Message.Request ->
       Stats.Counter.incr t.c_msgs_request;

@@ -5,20 +5,40 @@ type rates = { drop : float; dup : float; reorder : float }
 
 let no_faults = { drop = 0.0; dup = 0.0; reorder = 0.0 }
 
+type burst = {
+  p_enter : float;
+  p_exit : float;
+  good_scale : float;
+  bad_scale : float;
+}
+
+let bursty ?(p_enter = 0.05) ?(p_exit = 0.25) ?(good_scale = 0.0)
+    ?(bad_scale = 10.0) () =
+  let chk what p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Faults.bursty: %s out of [0,1]" what)
+  in
+  chk "p_enter" p_enter;
+  chk "p_exit" p_exit;
+  if good_scale < 0.0 || bad_scale < 0.0 then
+    invalid_arg "Faults.bursty: negative rate scale";
+  { p_enter; p_exit; good_scale; bad_scale }
+
 type config = {
   seed : int;
   request : rates;
   response : rates;
   max_jitter : int;
+  burst : burst option;
 }
 
 let uniform ?(seed = 0x7700) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
-    ?(max_jitter = 40) () =
+    ?(max_jitter = 40) ?burst () =
   let r = { drop; dup; reorder } in
-  { seed; request = r; response = r; max_jitter }
+  { seed; request = r; response = r; max_jitter; burst }
 
-let per_vnet ?(seed = 0x7700) ?(max_jitter = 40) ~request ~response () =
-  { seed; request; response; max_jitter }
+let per_vnet ?(seed = 0x7700) ?(max_jitter = 40) ?burst ~request ~response () =
+  { seed; request; response; max_jitter; burst }
 
 type decision = { dropped : bool; reorder_jitter : int; dup_jitter : int }
 
@@ -32,12 +52,21 @@ type t = {
   c_dropped : Stats.counter;
   c_duplicated : Stats.counter;
   c_reordered : Stats.counter;
+  c_burst_bad : Stats.counter;
+  (* Gilbert–Elliott link state, lazily allocated per (src,dst) link.  Each
+     link owns a private PRNG stream for its state transitions so the main
+     stream's pinned draw order (see .mli) is untouched by burst mode. *)
+  nnodes : int;
+  link_rngs : Prng.t option array;
+  link_bad : bool array;
   mutable tap : (site:int -> decision -> decision) option;
   mutable site : int;
 }
 
 let create config fabric =
   let counters = Stats.create "faults" in
+  let nnodes = Fabric.nodes fabric in
+  let nlinks = match config.burst with None -> 0 | Some _ -> nnodes * nnodes in
   {
     fabric;
     prng = Prng.create ~seed:config.seed;
@@ -46,6 +75,10 @@ let create config fabric =
     c_dropped = Stats.counter counters "faults.dropped";
     c_duplicated = Stats.counter counters "faults.duplicated";
     c_reordered = Stats.counter counters "faults.reordered";
+    c_burst_bad = Stats.counter counters "faults.burst_bad_sends";
+    nnodes;
+    link_rngs = Array.make nlinks None;
+    link_bad = Array.make nlinks false;
     tap = None;
     site = 0;
   }
@@ -67,12 +100,49 @@ let sites t = t.site
    entirely.  The tap (if any) observes the drawn decision and may replace
    it; the PRNG stream is consumed identically either way, so masking or
    replaying decisions never shifts later draws. *)
+(* One Gilbert–Elliott state transition per send, drawn from the link's
+   private stream: in the bad state the vnet's configured rates are scaled
+   by [bad_scale] (clamped to probability 1), in the good state by
+   [good_scale].  Scales of 1.0 make burst mode draw-for-draw identical to
+   no burst on the main stream, which is how the draw-order preservation is
+   pinned by test. *)
+let effective_rates t (msg : Message.t) r =
+  match t.config.burst with
+  | None -> r
+  | Some b ->
+      let link = (msg.Message.src * t.nnodes) + msg.Message.dst in
+      let rng =
+        match t.link_rngs.(link) with
+        | Some g -> g
+        | None ->
+            let g =
+              Prng.create ~seed:(t.config.seed lxor ((link + 1) * 0x9E3779B9))
+            in
+            t.link_rngs.(link) <- Some g;
+            g
+      in
+      let bad =
+        if t.link_bad.(link) then not (Prng.chance rng b.p_exit)
+        else Prng.chance rng b.p_enter
+      in
+      t.link_bad.(link) <- bad;
+      if bad then Stats.Counter.incr t.c_burst_bad;
+      let scale = if bad then b.bad_scale else b.good_scale in
+      if scale = 1.0 then r
+      else
+        {
+          drop = Float.min 1.0 (r.drop *. scale);
+          dup = Float.min 1.0 (r.dup *. scale);
+          reorder = Float.min 1.0 (r.reorder *. scale);
+        }
+
 let send t ~at msg =
   let r =
     match msg.Message.vnet with
     | Message.Request -> t.config.request
     | Message.Response -> t.config.response
   in
+  let r = effective_rates t msg r in
   let natural =
     if r.drop > 0.0 && Prng.chance t.prng r.drop then
       { dropped = true; reorder_jitter = 0; dup_jitter = 0 }

@@ -29,29 +29,57 @@
     part of the module's seed-stability contract: changing it silently
     rewrites every recorded fault pattern, so it is pinned by a regression
     test (the exact dropped/duplicated/reordered counter triple for a known
-    traffic sequence). *)
+    traffic sequence).
+
+    Bursty-loss mode ({!bursty}) does not touch this contract: each
+    (src,dst) link's Gilbert–Elliott state transition draws from a {e
+    private} per-link stream, never from the main stream, and the rules
+    above then apply to the state's {e effective} rates (the configured
+    rates scaled by [good_scale]/[bad_scale], clamped to 1).  With both
+    scales at 1.0 the main stream is consumed draw-for-draw identically to
+    burst mode off. *)
 
 type rates = { drop : float; dup : float; reorder : float }
 (** Independent per-message probabilities in [0, 1]. *)
 
 val no_faults : rates
 
+type burst = {
+  p_enter : float;  (** good→bad transition probability, per send on a link *)
+  p_exit : float;   (** bad→good transition probability *)
+  good_scale : float;  (** fault-rate multiplier in the good state *)
+  bad_scale : float;   (** fault-rate multiplier in the bad state *)
+}
+(** Seeded Gilbert–Elliott bursty loss: each (src,dst) link is a two-state
+    Markov chain advanced once per send over that link, and the state
+    scales the vnet's configured rates (clamped to probability 1).  The
+    default good state is clean ([good_scale = 0]); the bad state
+    concentrates the configured rates into bursts ([bad_scale = 10]). *)
+
+val bursty :
+  ?p_enter:float -> ?p_exit:float -> ?good_scale:float -> ?bad_scale:float ->
+  unit -> burst
+(** Defaults: p_enter 0.05, p_exit 0.25 (mean burst length 4 sends),
+    good_scale 0, bad_scale 10.  @raise Invalid_argument on probabilities
+    outside [0,1] or negative scales. *)
+
 type config = {
   seed : int;
   request : rates;   (** applied to {!Message.vnet} [Request] traffic *)
   response : rates;  (** applied to [Response] traffic *)
   max_jitter : int;  (** max extra delay (cycles) for reordered/dup copies *)
+  burst : burst option;  (** [Some _] enables bursty-loss mode *)
 }
 
 val uniform :
   ?seed:int -> ?drop:float -> ?dup:float -> ?reorder:float ->
-  ?max_jitter:int -> unit -> config
+  ?max_jitter:int -> ?burst:burst -> unit -> config
 (** Same rates on both virtual networks (defaults: all 0, seed 0x7700,
-    max_jitter 40). *)
+    max_jitter 40, no burst). *)
 
 val per_vnet :
-  ?seed:int -> ?max_jitter:int -> request:rates -> response:rates -> unit ->
-  config
+  ?seed:int -> ?max_jitter:int -> ?burst:burst -> request:rates ->
+  response:rates -> unit -> config
 (** Distinct rates per virtual network — e.g. a lossy request net under a
     clean response net, the asymmetry the [tt faults]
     [--request-drop]/[--response-drop] flags expose. *)
@@ -87,6 +115,8 @@ val sites : t -> int
 (** Number of sends decided so far (the next send's site index). *)
 
 val stats : t -> Tt_util.Stats.t
-(** Counters: [faults.dropped], [faults.duplicated], [faults.reordered]. *)
+(** Counters: [faults.dropped], [faults.duplicated], [faults.reordered],
+    and in burst mode [faults.burst_bad_sends] (sends decided in a link's
+    bad state). *)
 
 val dropped : t -> int

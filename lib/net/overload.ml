@@ -1,0 +1,1 @@
+exception Overload of string

@@ -1,0 +1,13 @@
+(** Finite-buffering overflow signal.
+
+    Raised when a bounded queue — the fabric's in-flight buffer, an NP work
+    ring, or the user-level spill buffer ({!Flow}) — would be pushed past
+    its capacity.  The message names the saturated component, its occupancy
+    and capacity, and (for the flow layer) the blocked senders, so an
+    overloaded run aborts with a diagnostic instead of buffering without
+    bound or hanging silently.
+
+    Lives in its own module at the bottom of the [tt_net] dependency graph
+    so {!Fabric}, {!Flow}, and [Tt_typhoon.Np] can all raise it. *)
+
+exception Overload of string

@@ -27,6 +27,11 @@ type t = {
   stache_max_pages : int option;
   dir_limited_pointers : int option;
   link_words_per_cycle : int option;
+  flow_request_credits : int;
+  flow_response_credits : int;
+  flow_spill_capacity : int;
+  np_queue_capacity : int;
+  fabric_capacity : int;
   quantum : int;
   seed : int;
 }
@@ -61,6 +66,14 @@ let default =
     stache_max_pages = None;
     dir_limited_pointers = None;
     link_words_per_cycle = None;
+    (* ample by default: the reliable transport's send window is 512 per
+       (src,dst) pair, so 4096 credits per (src,dst,vnet) can never be
+       exhausted and the pinned cycle rows stay bit-identical to TT_FLOW=0 *)
+    flow_request_credits = 4096;
+    flow_response_credits = 4096;
+    flow_spill_capacity = 1 lsl 16;
+    np_queue_capacity = 1 lsl 16;
+    fabric_capacity = 1 lsl 20;
     quantum = 200;
     seed = 42;
   }
@@ -78,4 +91,12 @@ let validate t =
     err "cpu cache size must be a multiple of assoc*32"
   else if t.net_latency <= 0 then err "net_latency must be positive"
   else if t.quantum <= 0 then err "quantum must be positive"
+  else if t.flow_request_credits <= 0 then
+    err "flow_request_credits must be positive"
+  else if t.flow_response_credits <= 0 then
+    err "flow_response_credits must be positive"
+  else if t.flow_spill_capacity < 0 then
+    err "flow_spill_capacity must be non-negative"
+  else if t.np_queue_capacity <= 0 then err "np_queue_capacity must be positive"
+  else if t.fabric_capacity <= 0 then err "fabric_capacity must be positive"
   else Ok ()

@@ -51,6 +51,22 @@ type t = {
       (** network ablation: [Some w] models finite per-node link bandwidth
           (arrivals at one node are serialized at [w] payload words per
           cycle); [None] (default) is the paper's contention-free model. *)
+  (* --- finite buffering / flow control (§5.1 overflow machinery) --- *)
+  flow_request_credits : int;
+      (** per-(src,dst) send credits on the request virtual network; a
+          sender out of credits parks (CPU) or spills (NP handler) until
+          the receiver's NP finishes a message and returns the credit *)
+  flow_response_credits : int;
+      (** same, response vnet — kept separate so responses always retain
+          enough credit to drain (§5.1's deadlock-avoidance priority) *)
+  flow_spill_capacity : int;
+      (** per-node cap on the user-level overflow (spill) buffer; an NP
+          handler that would exceed it raises {!Tt_net.Overload.Overload}
+          rather than buffer without bound *)
+  np_queue_capacity : int;
+      (** per-ring cap on the NP's work queues (finite buffering) *)
+  fabric_capacity : int;
+      (** cap on messages simultaneously in flight in the fabric *)
   (* --- simulator --- *)
   quantum : int;  (** thread run-ahead bound, cycles *)
   seed : int;

@@ -50,6 +50,7 @@ type t = {
   force_read_f64 : vaddr:int -> float;
   force_write_f64 : vaddr:int -> float -> unit;
   resume : resumption -> unit;
+  overflow_pending : unit -> int;
 }
 
 type message_handler = t -> src:int -> args:int array -> data:Bytes.t -> unit
@@ -59,16 +60,19 @@ type block_fault_handler = t -> fault -> unit
 type page_fault_handler =
   t -> vaddr:int -> Tt_mem.Tag.access -> resumption -> unit
 
+type status_handler = t -> pending:int -> unit
+
 module Handlers = struct
   type tables = {
     messages : (string * message_handler) Tt_util.Vec.t;
     block_faults : (int, block_fault_handler) Hashtbl.t;
     mutable page_faults : page_fault_handler option;
+    mutable status : status_handler option;
   }
 
   let create () =
     { messages = Tt_util.Vec.create (); block_faults = Hashtbl.create 16;
-      page_faults = None }
+      page_faults = None; status = None }
 
   let register_message t ~name handler =
     Tt_util.Vec.push t.messages (name, handler);
@@ -89,4 +93,8 @@ module Handlers = struct
   let set_page_fault t handler = t.page_faults <- Some handler
 
   let page_fault t = t.page_faults
+
+  let set_status t handler = t.status <- Some handler
+
+  let status t = t.status
 end

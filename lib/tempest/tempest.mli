@@ -104,6 +104,10 @@ type t = {
   force_read_f64 : vaddr:int -> float;
   force_write_f64 : vaddr:int -> float -> unit;
   resume : resumption -> unit;
+  overflow_pending : unit -> int;
+      (** messages parked in this node's §5.1 overflow buffer (spilled
+          handler sends plus blocked CPU sends awaiting credits); [0] when
+          the machine runs without the {!Tt_net.Flow} layer *)
 }
 (** A per-node Tempest endpoint.  Protocol handlers receive the endpoint of
     the node they execute on. *)
@@ -114,6 +118,13 @@ type block_fault_handler = t -> fault -> unit
 
 type page_fault_handler =
   t -> vaddr:int -> Tt_mem.Tag.access -> resumption -> unit
+
+type status_handler = t -> pending:int -> unit
+(** §5.1 overflow status handler: dispatched (second-level, slower than
+    the hardware-assisted message dispatch) after the system drains the
+    node's overflow buffer, with the number of messages still parked.
+    Protocol code may use it to throttle or account; registration is
+    optional — draining happens regardless. *)
 
 (** System-wide handler tables (the same protocol code is linked on every
     node, so registration is global).  Machines own one of these and
@@ -139,6 +150,10 @@ module Handlers : sig
   val set_page_fault : tables -> page_fault_handler -> unit
 
   val page_fault : tables -> page_fault_handler option
+
+  val set_status : tables -> status_handler -> unit
+
+  val status : tables -> status_handler option
 end
 
 val fire : resumption -> unit

@@ -101,9 +101,11 @@ let make_machine case params =
         (Printf.sprintf "Torture: unknown machine %S (expected %s)" other
            (String.concat "|" machines))
 
-let run ?(mode = Generate) case =
+let run ?(mode = Generate) ?(tweak_params = fun p -> p) case =
   let lit = Litmus.by_name case.litmus in
-  let params = { Params.default with Params.nodes = lit.Litmus.nprocs } in
+  let params =
+    tweak_params { Params.default with Params.nodes = lit.Litmus.nprocs }
+  in
   let machine = make_machine case params in
   let trace = Trace.create () in
   (* tie-break perturbation: installed exactly when the case's rate is
@@ -261,7 +263,7 @@ let run ?(mode = Generate) case =
   let watchdog =
     Watchdog.create
       ~max_cycles:(2_000_000 + (case.iters * 1_000_000))
-      ~max_retransmits:200_000 ()
+      ~max_retransmits:200_000 ~max_stall:500_000 ()
   in
   let name = Printf.sprintf "torture-%s" lit.Litmus.name in
   let was_sabotaged = Stache.sabotage_enabled () in
@@ -300,6 +302,9 @@ let run ?(mode = Generate) case =
           (match exn with
           | Watchdog.Expired msg -> from_exn Hang msg
           | Run.Stuck msg -> from_exn Hang msg
+          (* a full overflow buffer is the diagnosed form of the hang it
+             prevents: classify with the wedged runs, not the crashes *)
+          | Tt_net.Overload.Overload msg -> from_exn Hang msg
           | Reliable.Link_failed msg -> from_exn Link msg
           | Failure msg -> from_exn Crash msg
           | Invalid_argument msg -> from_exn Crash msg

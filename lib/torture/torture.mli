@@ -70,11 +70,18 @@ val kind_to_string : kind -> string
 
 val kind_of_string : string -> kind
 
-val run : ?mode:mode -> case -> result
+val run : ?mode:mode -> ?tweak_params:(Params.t -> Params.t) -> case -> result
 (** Execute one case.  Observable (SC/stale) violations recorded before a
     crash take priority over the crash itself, so the shrinker keys on
     stable evidence.  The Stache sabotage global is set from [case] for
-    the duration of the run and restored afterwards. *)
+    the duration of the run and restored afterwards.
+
+    [tweak_params] adjusts the machine parameters after the litmus shape
+    sets the node count — overload tests use it to shrink flow-control
+    credits and queue capacities without widening the [case] record (whose
+    encoding is a stable artifact format).  A run wedged by exhausted
+    capacities surfaces as [Fail Hang] carrying the watchdog's or the
+    overflow path's diagnostic, never as a silent hang. *)
 
 val default_drops : float list
 (** [[0.0; 0.05]] — a perfect and a faulty transport column. *)

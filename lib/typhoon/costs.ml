@@ -17,3 +17,9 @@ let unmap_page = 20
 let resume_op = 1
 
 let bulk_packet_overhead = 4
+
+let spill_store = 3
+
+let spill_drain = 4
+
+let status_dispatch = 10

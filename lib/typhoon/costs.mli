@@ -33,3 +33,14 @@ val resume_op : int
 
 val bulk_packet_overhead : int
 (** packetization work per bulk-transfer packet beyond the send stores *)
+
+val spill_store : int
+(** redirect a blocked handler-side send into the overflow buffer (§5.1):
+    store the message body to the user-level spill queue *)
+
+val spill_drain : int
+(** release one parked message from the overflow buffer onto the network *)
+
+val status_dispatch : int
+(** second-level dispatch of the overflow status handler (§5.1 notes this
+    path is slower than the hardware-assisted first-level dispatch) *)

@@ -59,6 +59,8 @@ type t = {
   engine : Tt_sim.Engine.t;
   np_rtlb : Tt_mem.Tlb.t;
   np_dcache : Tt_cache.Cache.t;
+  capacity : int; (* per-ring item cap; [max_int] = unbounded *)
+  np_name : string;
   mutable exec : work -> unit;
   mutable msg_exec : Tt_net.Message.t -> unit;
   mutable deferred_exec : (unit -> unit) -> unit;
@@ -87,6 +89,24 @@ let busy t = t.np_busy
 let handled t = t.handled_count
 
 let busy_cycles t = t.busy_cycle_count
+
+let depth t =
+  t.responses.count + t.requests.count + t.faults.count + t.deferred.count
+
+(* Finite queueing: each ring rejects pushes beyond [capacity].  With the
+   Flow credit layer above, an ample capacity is a pure safety net — credits
+   bound arrivals long before the ring fills — so hitting this is a bug or a
+   deliberately tiny-capacity overload experiment, and either way it must
+   abort loudly, never grow silently. *)
+let check_room t r what at =
+  if r.count >= t.capacity then
+    raise
+      (Tt_net.Overload.Overload
+         (Printf.sprintf
+            "%s: %s ring full (%d items, capacity %d) at t=%d (queues: \
+             responses=%d requests=%d faults=%d deferred=%d)"
+            t.np_name what r.count t.capacity at t.responses.count
+            t.requests.count t.faults.count t.deferred.count))
 
 (* Priority: responses, then faults, then requests, then deferred chores
    (§5.1: the response network must never starve).
@@ -142,9 +162,10 @@ and finish t start =
   end
   else Tt_sim.Engine.at t.engine t.np_clock t.self
 
-let create engine ~rtlb ~dcache () =
+let create engine ~rtlb ~dcache ?(capacity = max_int) ?(name = "np") () =
+  if capacity <= 0 then invalid_arg "Np.create: bad capacity";
   let t =
-    { engine; np_rtlb = rtlb; np_dcache = dcache;
+    { engine; np_rtlb = rtlb; np_dcache = dcache; capacity; np_name = name;
       exec = (fun _ -> invalid_arg "Np: exec not installed");
       msg_exec = (fun _ -> ());
       deferred_exec = (fun _ -> ());
@@ -178,11 +199,16 @@ let kick t =
 
 let post_message t ~at (m : Tt_net.Message.t) =
   (match m.vnet with
-  | Tt_net.Message.Response -> ring_push t.responses at m
-  | Tt_net.Message.Request -> ring_push t.requests at m);
+  | Tt_net.Message.Response ->
+      check_room t t.responses "response" at;
+      ring_push t.responses at m
+  | Tt_net.Message.Request ->
+      check_room t t.requests "request" at;
+      ring_push t.requests at m);
   kick t
 
 let post_deferred t ~at f =
+  check_room t t.deferred "deferred" at;
   ring_push t.deferred at f;
   kick t
 
@@ -190,8 +216,16 @@ let post t ~at work =
   (match work with
   | Message m -> (
       match m.Tt_net.Message.vnet with
-      | Tt_net.Message.Response -> ring_push t.responses at m
-      | Tt_net.Message.Request -> ring_push t.requests at m)
-  | Block_fault _ | Page_fault _ -> ring_push t.faults at work
-  | Deferred f -> ring_push t.deferred at f);
+      | Tt_net.Message.Response ->
+          check_room t t.responses "response" at;
+          ring_push t.responses at m
+      | Tt_net.Message.Request ->
+          check_room t t.requests "request" at;
+          ring_push t.requests at m)
+  | Block_fault _ | Page_fault _ ->
+      check_room t t.faults "fault" at;
+      ring_push t.faults at work
+  | Deferred f ->
+      check_room t t.deferred "deferred" at;
+      ring_push t.deferred at f);
   kick t

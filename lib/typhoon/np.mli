@@ -29,8 +29,16 @@ val create :
   Tt_sim.Engine.t ->
   rtlb:Tt_mem.Tlb.t ->
   dcache:Tt_cache.Cache.t ->
+  ?capacity:int ->
+  ?name:string ->
   unit ->
   t
+(** [capacity] (default unbounded) caps each of the four work rings; a
+    post beyond it raises {!Tt_net.Overload.Overload} naming the ring, its
+    occupancies, and [name] (default ["np"] — machines pass ["np<id>"] so
+    the diagnostic identifies the node).  With the {!Tt_net.Flow} credit
+    layer above, an ample capacity is a safety net that credits keep
+    unreachable. *)
 
 val set_exec : t -> (work -> unit) -> unit
 (** Install the handler-execution function (must be done before any
@@ -80,3 +88,7 @@ val handled : t -> int
 
 val busy_cycles : t -> int
 (** Cycles spent executing handlers (NP utilization). *)
+
+val depth : t -> int
+(** Items currently queued across all four rings (occupancy probe for
+    watchdog diagnostics). *)

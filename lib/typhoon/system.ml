@@ -8,6 +8,7 @@ module Cache = Tt_cache.Cache
 module Message = Tt_net.Message
 module Fabric = Tt_net.Fabric
 module Reliable = Tt_net.Reliable
+module Flow = Tt_net.Flow
 (* Params is exposed unwrapped by tt_params *)
 module Stats = Tt_util.Stats
 
@@ -77,6 +78,7 @@ type t = {
   params : Params.t;
   fabric : Fabric.t;
   net : Reliable.t;
+  flow : Flow.t option; (* [None] when the TT_FLOW kill switch is off *)
   tables : Tempest.Handlers.tables;
   nodes : node array;
   mutable bulk_token : int;
@@ -143,12 +145,25 @@ let check_bulk_range mem ~what ~va ~len =
   done
 
 let make_endpoint t node =
+  (* Route a message onto the network through the flow-control layer when
+     it is on: a handler-context send may spill into the node's §5.1
+     overflow buffer, a CPU-context send may block the thread until
+     credits return.  With ample credits both reduce to pure integer
+     bookkeeping around [Reliable.send]. *)
+  let net_send ~at msg =
+    match t.flow with
+    | None -> Reliable.send t.net ~at msg
+    | Some fl -> (
+        match node.ctx with
+        | Np_ctx -> Flow.send_from_handler fl ~at msg
+        | Cpu_ctx th -> Flow.send_from_cpu fl ~at th msg)
+  in
   let send_raw ~dst ~vnet ~handler ~args ~data =
     let msg =
       Message.Pool.acquire_raw ~src:node.id ~dst ~vnet ~handler ~args ~data
     in
     charge node (Costs.send_base + (Costs.send_per_word * Message.words msg));
-    Reliable.send t.net ~at:(exec_clock node) msg
+    net_send ~at:(exec_clock node) msg
   in
   let send ~dst ~vnet ~handler ?(args = [||]) ?(data = Bytes.empty) () =
     send_raw ~dst ~vnet ~handler ~args ~data
@@ -219,7 +234,8 @@ let make_endpoint t node =
           (Costs.bulk_packet_overhead
           + Costs.send_base
           + (Costs.send_per_word * Message.words msg));
-        Reliable.send t.net ~at:(Np.clock node.np) msg;
+        (* the chore runs on the NP, so this is a handler-context send *)
+        net_send ~at:(Np.clock node.np) msg;
         off := !off + chunk;
         if !off < len then Np.post_deferred node.np ~at:(Np.clock node.np) chore
       with e ->
@@ -314,6 +330,11 @@ let make_endpoint t node =
       (fun r ->
         charge node Costs.resume_op;
         Tempest.fire r);
+    overflow_pending =
+      (fun () ->
+        match t.flow with
+        | Some fl -> Flow.node_queued fl node.id
+        | None -> 0);
   }
 
 let np_prologue node =
@@ -323,12 +344,23 @@ let np_prologue node =
 (* Execute one delivered message: dispatch to the registered user handler,
    then return the message to its pool — a handler may read the message
    only for the duration of the call. *)
+(* End-to-end credit return: the sender's credit comes back when the
+   receiving NP has *executed* the message's handler, not on mere arrival —
+   finite NP queues are covered by the same credits as the wire. *)
+let return_credit t (msg : Message.t) =
+  match t.flow with
+  | None -> ()
+  | Some fl ->
+      Flow.credit_return fl ~src:msg.Message.src ~dst:msg.Message.dst
+        msg.Message.vnet
+
 let np_msg_exec t node (msg : Message.t) =
   np_prologue node;
   let ep = Option.get node.endpoint in
   let handler = Tempest.Handlers.message t.tables msg.Message.handler in
   handler ep ~src:msg.Message.src ~args:msg.Message.args
     ~data:msg.Message.data;
+  return_credit t msg;
   Message.Pool.release msg
 
 let np_deferred_exec node f =
@@ -344,6 +376,7 @@ let np_exec t node work =
       let handler = Tempest.Handlers.message t.tables msg.Message.handler in
       handler ep ~src:msg.Message.src ~args:msg.Message.args
         ~data:msg.Message.data;
+      return_credit t msg;
       Message.Pool.release msg
   | Np.Block_fault fault ->
       Stats.Counter.incr node.c_block_faults;
@@ -375,8 +408,20 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
   | Error msg -> invalid_arg ("Typhoon.System.create: " ^ msg));
   let prng = Tt_util.Prng.create ~seed:p.Params.seed in
   let fabric = Fabric.create engine ~nodes:p.Params.nodes ~latency:p.Params.net_latency
-      ?words_per_cycle:p.Params.link_words_per_cycle () in
+      ?words_per_cycle:p.Params.link_words_per_cycle
+      ~capacity:p.Params.fabric_capacity () in
   let net = Reliable.create engine fabric reliability in
+  let flow =
+    if Flow.enabled () then
+      Some
+        (Flow.create net ~nodes:p.Params.nodes
+           ~request_credits:p.Params.flow_request_credits
+           ~response_credits:p.Params.flow_response_credits
+           ~spill_capacity:p.Params.flow_spill_capacity
+           ~spill_cost:Costs.spill_store ~drain_cost:Costs.spill_drain
+           ~status_cost:Costs.status_dispatch ())
+    else None
+  in
   let tables = Tempest.Handlers.create () in
   let nodes =
     Array.init p.Params.nodes (fun id ->
@@ -400,7 +445,10 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
             Cache.create ~name:(Printf.sprintf "cpu%d.cache" id)
               ~size_bytes:p.Params.cpu_cache_bytes ~assoc:p.Params.cpu_cache_assoc
               ~prng:(Tt_util.Prng.split prng) ();
-          np = Np.create engine ~rtlb ~dcache ();
+          np =
+            Np.create engine ~rtlb ~dcache
+              ~capacity:p.Params.np_queue_capacity
+              ~name:(Printf.sprintf "np%d" id) ();
           stats;
           c_accesses = Stats.counter stats "accesses";
           c_upgrades = Stats.counter stats "upgrades";
@@ -414,7 +462,7 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
         })
   in
   let t =
-    { engine; params = p; fabric; net; tables; nodes; bulk_token = 0;
+    { engine; params = p; fabric; net; flow; tables; nodes; bulk_token = 0;
       bulk_completions = Hashtbl.create 16; bulk_handler_id = -1 }
   in
   Array.iter
@@ -426,6 +474,27 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
       Reliable.set_receiver net ~node:node.id (fun msg ->
           Np.post_message node.np ~at:(Engine.now engine) msg))
     nodes;
+  (match flow with
+  | None -> ()
+  | Some fl ->
+      (* Drain chores are §5.1's second-level status dispatch: they run on
+         the parked sender's NP, a wire delay after the credit returned.
+         [post_deferred] requires monotone ready times per ring, and
+         [Np.clock] can run ahead of engine time mid-drain, so clamp to
+         whichever is later — the max is monotone because both operands
+         are. *)
+      Flow.set_hooks fl
+        ~post:(fun nid chore ->
+          let np = nodes.(nid).np in
+          Np.post_deferred np
+            ~at:(max (Engine.now engine + p.Params.net_latency) (Np.clock np))
+            chore)
+        ~clock:(fun nid -> Np.clock nodes.(nid).np)
+        ~charge:(fun nid c -> Np.charge nodes.(nid).np c)
+        ~status:(fun nid ~pending ->
+          match Tempest.Handlers.status t.tables with
+          | Some h -> h (Option.get nodes.(nid).endpoint) ~pending
+          | None -> ()));
   (* Built-in receive handler for bulk-transfer packets: force-write the
      data at the destination address; the last packet fires the completion
      callback. *)
@@ -573,4 +642,35 @@ let merged_stats t =
   (match Reliable.fault_stats t.net with
   | Some s -> Stats.merge_into ~dst:out s
   | None -> ());
+  (match t.flow with
+  | Some fl -> Stats.merge_into ~dst:out (Flow.stats fl)
+  | None -> ());
   out
+
+(* ------------------------------------------------------------------ *)
+(* Progress and occupancy probes (watchdog integration)               *)
+(* ------------------------------------------------------------------ *)
+
+let flow t = t.flow
+
+(* Total work items executed across all NPs: the machine's delivery
+   progress metric.  Any live computation keeps increasing it, so a
+   stationary value across a watchdog window means the machine is wedged. *)
+let delivered t =
+  Array.fold_left (fun acc n -> acc + Np.handled n.np) 0 t.nodes
+
+let queue_summary t =
+  let b = Buffer.create 64 in
+  Array.iter
+    (fun n ->
+      let d = Np.depth n.np in
+      if d > 0 then
+        Buffer.add_string b (Printf.sprintf "np%d depth=%d; " n.id d))
+    t.nodes;
+  (match t.flow with
+  | Some fl -> Buffer.add_string b (Flow.describe fl)
+  | None -> ());
+  if Buffer.length b = 0 then "all queues empty" else Buffer.contents b
+
+let deadlock_probe t =
+  match t.flow with None -> None | Some fl -> Flow.deadlock fl

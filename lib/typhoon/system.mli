@@ -48,14 +48,37 @@ val node_stats : t -> int -> Tt_util.Stats.t
     [accesses]. *)
 
 val merged_stats : t -> Tt_util.Stats.t
-(** All node counters plus network traffic, merged. *)
+(** All node counters plus network traffic (and, when flow control is on,
+    the [flow.*] counters), merged. *)
+
+(** {2 Finite buffering (§5.1)} *)
+
+val flow : t -> Tt_net.Flow.t option
+(** The credit-based flow-control layer, or [None] when disabled by the
+    [TT_FLOW] kill switch (see {!Tt_net.Flow}). *)
+
+val delivered : t -> int
+(** Total NP work items executed machine-wide — the progress metric the
+    {!Tt_harness.Watchdog} no-progress budget watches: a stationary value
+    across a window means the machine is wedged. *)
+
+val queue_summary : t -> string
+(** One-line occupancy summary (NP ring depths, parked flow-control
+    traffic) for watchdog diagnostics. *)
+
+val deadlock_probe : t -> string option
+(** {!Tt_net.Flow.deadlock} on the flow layer; [None] when flow control is
+    off or no waits-for cycle exists. *)
 
 (** {2 CPU-side execution} *)
 
 val with_cpu_context : t -> node:int -> Tt_sim.Thread.t -> (unit -> 'a) -> 'a
 (** Run CPU-resident protocol/library code (allocation, setup): endpoint
     operations performed inside [f] charge the thread instead of the NP.
-    [f] must not suspend. *)
+    [f] must not suspend — with one exception: a send as the {e last}
+    operation may block on flow-control credits (the context would be
+    restored wrong across an effect suspension mid-body, but nothing reads
+    it after a tail send). *)
 
 val cpu_access :
   t -> node:int -> Tt_sim.Thread.t -> Tt_mem.Tag.access -> int -> unit

@@ -68,3 +68,7 @@ let clear t =
   t.size <- 0
 
 let reset t = t.size <- 0
+
+let truncate t n =
+  if n < 0 || n > t.size then invalid_arg "Vec.truncate";
+  t.size <- n

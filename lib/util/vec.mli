@@ -37,3 +37,8 @@ val reset : 'a t -> unit
     next pushes).  The retained array still references the old elements;
     use only where that retention is harmless (e.g. waiter lists holding
     run-lifetime threads). *)
+
+val truncate : 'a t -> int -> unit
+(** Shrink the vector to its first [n] elements, keeping storage (same
+    retention caveat as {!reset}).  @raise Invalid_argument if [n] is
+    negative or larger than the current length. *)

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Equivalence gate for finite buffering / credit-based flow control.
+#
+# Runs the full build + test suite twice — flow control enabled (default),
+# then with TT_FLOW=0 (sends go straight to the reliable transport with no
+# capacity checks) — so the pinned simulated-cycle regression rows in
+# test_regression.ml, the flow suite (test_flow.ml), and the torture
+# replays are all checked under both configurations.  With the default
+# ample credits (larger than the transport's send window can ever use) the
+# credit layer is pure integer bookkeeping: any cycle divergence fails a
+# pinned row or an equivalence property.
+#
+# The bench harness enforces the same invariant in-process
+# (flowcontrol_timing_parity in bench/main.ml).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== flow control enabled =="
+dune build
+dune runtest --force
+
+echo "== flow control disabled (TT_FLOW=0) =="
+TT_FLOW=0 dune runtest --force
+
+echo "flowcontrol parity: both runs green (pinned cycle rows identical)"

@@ -321,6 +321,60 @@ let test_faults_full_drop () =
   check_int "nothing delivered" 0 !got;
   check_int "all dropped" 50 (Faults.dropped fl)
 
+(* ---------------- Gilbert–Elliott bursty loss ---------------- *)
+
+let bursty_run ?burst ~seed () =
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 () in
+  let fl =
+    Faults.create
+      (Faults.uniform ~seed ~drop:0.05 ~dup:0.02 ~reorder:0.05 ?burst ())
+      f
+  in
+  let log = ref [] in
+  Fabric.set_receiver f ~node:1 (fun m ->
+      log := (m.Message.handler, Engine.now e) :: !log);
+  Fabric.set_receiver f ~node:0 (fun _ -> ());
+  for i = 0 to 399 do
+    Faults.send fl ~at:(i * 3) (msg ~handler:i ())
+  done;
+  Engine.run e;
+  let s = Faults.stats fl in
+  ( List.rev !log,
+    Stats.get s "faults.dropped",
+    Stats.get s "faults.duplicated",
+    Stats.get s "faults.reordered",
+    Stats.get s "faults.burst_bad_sends" )
+
+let test_burst_reproducible () =
+  let a = bursty_run ~burst:(Faults.bursty ()) ~seed:42 () in
+  let b = bursty_run ~burst:(Faults.bursty ()) ~seed:42 () in
+  check_bool "same seed, same burst pattern" true (a = b);
+  let _, d, _, _, bad = a in
+  check_bool "bad states entered" true (bad > 0);
+  check_bool "bursts actually dropped" true (d > 0)
+
+let test_burst_scale_one_is_draw_identical () =
+  (* the burst chain draws from private per-link streams; with both scales
+     at 1.0 the effective rates are the plain rates, so the delivery log
+     and every fault counter must match the no-burst run draw for draw —
+     the contract that lets recorded artifacts survive the burst knob *)
+  let neutral =
+    Faults.bursty ~p_enter:0.05 ~p_exit:0.25 ~good_scale:1.0 ~bad_scale:1.0 ()
+  in
+  let log_b, d_b, u_b, r_b, _ = bursty_run ~burst:neutral ~seed:42 () in
+  let log_p, d_p, u_p, r_p, bad_p = bursty_run ~seed:42 () in
+  check_bool "delivery log identical" true (log_b = log_p);
+  check_int "dropped identical" d_p d_b;
+  check_int "duplicated identical" u_p u_b;
+  check_int "reordered identical" r_p r_b;
+  check_int "plain run never enters a bad state" 0 bad_p
+
+let test_burst_differs_from_plain () =
+  let log_b, _, _, _, _ = bursty_run ~burst:(Faults.bursty ()) ~seed:42 () in
+  let log_p, _, _, _, _ = bursty_run ~seed:42 () in
+  check_bool "default burst changes the fault pattern" true (log_b <> log_p)
+
 (* ---------------- Reliable ---------------- *)
 
 let mk_reliable ?(nodes = 2) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
@@ -501,6 +555,12 @@ let () =
             test_faults_tap_stream_alignment;
           Alcotest.test_case "per-vnet rates" `Quick test_faults_per_vnet_rates;
           Alcotest.test_case "full drop" `Quick test_faults_full_drop;
+          Alcotest.test_case "bursty loss reproducible" `Quick
+            test_burst_reproducible;
+          Alcotest.test_case "neutral burst scales draw-identical" `Quick
+            test_burst_scale_one_is_draw_identical;
+          Alcotest.test_case "bursty loss differs from plain" `Quick
+            test_burst_differs_from_plain;
         ] );
       ( "reliable",
         [

@@ -409,6 +409,46 @@ let test_vec_conversions () =
   Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
   check_int "iteri count" 5 (List.length !seen)
 
+let test_vec_truncate () =
+  let v = Vec.of_list [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  Vec.truncate v 4;
+  Alcotest.(check (list int)) "prefix kept" [ 0; 1; 2; 3 ] (Vec.to_list v);
+  (* truncation keeps storage: growing back within the old footprint must
+     see fresh pushes, not stale retained elements *)
+  Vec.push v 40;
+  Alcotest.(check (list int)) "push after truncate" [ 0; 1; 2; 3; 40 ]
+    (Vec.to_list v);
+  Vec.truncate v 0;
+  check_bool "truncate to empty" true (Vec.is_empty v);
+  Alcotest.check_raises "truncate beyond length"
+    (Invalid_argument "Vec.truncate") (fun () -> Vec.truncate v 1)
+
+let test_vec_reset_reuses_storage () =
+  let v = Vec.create () in
+  let fill () =
+    for i = 0 to 9_999 do
+      Vec.push v i
+    done
+  in
+  fill ();
+  (* warm a second time so any lazy growth is done before measuring *)
+  Vec.reset v;
+  fill ();
+  Vec.reset v;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10 do
+    fill ();
+    Vec.reset v
+  done;
+  let allocated = Gc.minor_words () -. before in
+  check_int "refill count" 0 (Vec.length v);
+  (* ints into a retained backing array: repeated fill/drain cycles must
+     not allocate (small slack for the Gc sampling itself) *)
+  check_bool
+    (Printf.sprintf "no allocation across fill/drain cycles (got %.0f words)"
+       allocated)
+    true (allocated < 256.)
+
 (* ---------------- Bitset ---------------- *)
 
 let test_bitset_basic () =
@@ -608,6 +648,9 @@ let () =
           Alcotest.test_case "basic" `Quick test_vec_basic;
           Alcotest.test_case "bounds" `Quick test_vec_bounds;
           Alcotest.test_case "conversions" `Quick test_vec_conversions;
+          Alcotest.test_case "truncate" `Quick test_vec_truncate;
+          Alcotest.test_case "reset reuses storage" `Quick
+            test_vec_reset_reuses_storage;
         ] );
       ( "bitset",
         [
