@@ -278,6 +278,43 @@ let flowcontrol_timing_parity () =
      identical with TT_FLOW=0)\n\n%!"
     (fst on) (snd on)
 
+(* The domains-parallel engine must be deterministic: the same PHOLD
+   schedule, partitioned four ways, must produce bit-identical
+   per-partition event-log hashes whether one domain drives all four
+   partitions or four domains drive one each
+   (scripts/check_parallel.sh gates the full sweeps the same way). *)
+let pdes_parity () =
+  let go domains =
+    H.Pdes.run ~nodes:32 ~partitions:4 ~horizon:20_000 ~domains ()
+  in
+  let seq = go 1 and par = go 4 in
+  if
+    seq.H.Pdes.log_hashes <> par.H.Pdes.log_hashes
+    || seq.H.Pdes.counts <> par.H.Pdes.counts
+  then begin
+    Printf.eprintf
+      "FATAL: domains-parallel PHOLD diverged from the 1-domain oracle\n";
+    exit 1
+  end;
+  Printf.printf
+    "pdes determinism parity: OK (%d events over %d windows, identical \
+     per-partition logs on 1 and 4 domains)\n\n%!"
+    seq.H.Pdes.total seq.H.Pdes.epochs
+
+(* Wall-clock face of the same workload: the conservative windowed engine
+   on one domain vs four.  Speedup only appears with >= 4 host cores; the
+   interesting single-core number is the windowing overhead vs the
+   sequential oracle. *)
+let bench_pdes domains =
+  Test.make ~name:(Printf.sprintf "pdes_phold_%d_domains" domains)
+    (Staged.stage (fun () ->
+         ignore
+           (H.Pdes.run ~nodes:64 ~partitions:4 ~horizon:10_000 ~domains ())))
+
+let bench_pdes_1 = bench_pdes 1
+
+let bench_pdes_4 = bench_pdes 4
+
 (* Figure 4's unit: a tiny EM3D run under the update protocol. *)
 let bench_fig4 =
   let cfg =
@@ -431,7 +468,7 @@ let bench_ablation_event_queue_cal_uniform =
 let benchmarks =
   [ bench_table1; bench_table2; bench_table3; bench_fig3_stache;
     bench_fig3_dirnnb; bench_fig3_stache_reliable;
-    bench_ablation_message_pool; bench_fig4;
+    bench_ablation_message_pool; bench_fig4; bench_pdes_1; bench_pdes_4;
     bench_ablation_effects; bench_ablation_effects_fast;
     bench_ablation_effects_slow;
     bench_ablation_sharers_pointers; bench_ablation_sharers_overflow;
@@ -486,6 +523,7 @@ let () =
   pool_timing_parity ();
   fastpath_timing_parity ();
   flowcontrol_timing_parity ();
+  pdes_parity ();
   if not fast then reproduce_figures ()
   else print_endline "(TT_BENCH_FAST=1: skipping figure reproduction)\n";
   ablation_summary ();

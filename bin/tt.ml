@@ -39,6 +39,27 @@ let verify_t =
 
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
 
+let domains_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "Worker domains for the parallel harness (0 = sequential; default \
+           $(b,TT_DOMAINS), else 0).  Simulated cycles, stats and tables are \
+           bit-identical at every value; only wall-clock changes.")
+
+(* flag wins; else TT_DOMAINS; else sequential *)
+let resolve_domains = function
+  | Some d when d >= 0 -> d
+  | Some d -> invalid_arg (Printf.sprintf "--domains %d: must be >= 0" d)
+  | None -> Params.domains_of_env ()
+
+let note_parallel domains =
+  (* stderr, so gate scripts can diff stdout across TT_DOMAINS values *)
+  if domains > 1 then
+    Printf.eprintf "(parallel harness: %d worker domains)\n%!" domains
+
 (* --- tt run --- *)
 
 let run_cmd =
@@ -244,8 +265,10 @@ let scale_cmd =
       value & opt int 256
       & info [ "cache" ] ~doc:"CPU cache size in KB (default 256).")
   in
-  let run apps nodes scale cache_kb =
-    let points = H.Scaling.run ~apps ~nodes ~scale ~cache_kb () in
+  let run apps nodes scale cache_kb domains =
+    let domains = resolve_domains domains in
+    note_parallel domains;
+    let points = H.Scaling.run ~apps ~nodes ~scale ~cache_kb ~domains () in
     print_string (H.Scaling.render points);
     (* host-dependent: kept out of the table so gates can diff it *)
     Printf.printf "(sweep host CPU: %.1fs)\n" (H.Scaling.total_cpu_s points);
@@ -264,7 +287,7 @@ let scale_cmd =
      $(b,TT_BENCH_JSON) to also write the points as JSON."
   in
   Cmd.v (Cmd.info "scale" ~doc)
-    Term.(const run $ apps_t $ nodes_list_t $ scale_t $ cache_t)
+    Term.(const run $ apps_t $ nodes_list_t $ scale_t $ cache_t $ domains_t)
 
 (* --- tt verify --- *)
 
@@ -421,14 +444,16 @@ let faults_cmd =
              instead of buffering without bound.")
   in
   let run apps machine drops seeds request_drop response_drop burst credits
-      spill nodes scale =
+      spill nodes scale domains =
+    let domains = resolve_domains domains in
+    note_parallel domains;
     let pct = Option.map (fun p -> p /. 100.0) in
     let drops = List.map (fun p -> p /. 100.0) drops in
     let burst = if burst then Some (Tt_net.Faults.bursty ()) else None in
     let points =
       H.Faultsweep.run ~apps ~machine ~drops ~seeds
         ?request_drop:(pct request_drop) ?response_drop:(pct response_drop)
-        ?burst ?credits ?spill ~scale ~nodes ()
+        ?burst ?credits ?spill ~scale ~nodes ~domains ()
     in
     print_string (H.Faultsweep.render points);
     print_newline ();
@@ -456,7 +481,8 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run $ apps_t $ machine_t $ drops_t $ seeds_t $ req_drop_t
-      $ resp_drop_t $ burst_t $ credits_t $ spill_t $ nodes_t $ scale_t)
+      $ resp_drop_t $ burst_t $ credits_t $ spill_t $ nodes_t $ scale_t
+      $ domains_t)
 
 (* --- tt torture --- *)
 
@@ -540,7 +566,9 @@ let torture_cmd =
              exits 0 when the recorded violation reproduces.")
   in
   let run litmus machines drops seeds iters perturb_rate no_shrink smoke out
-      table replay =
+      table replay domains =
+    let domains = resolve_domains domains in
+    note_parallel domains;
     let litmus, machines, drops, seeds, iters, perturb_rate =
       if smoke then
         (L.names, T.machines, [ 0.0; 5.0 ], T.default_seeds, 4, 0.25)
@@ -570,7 +598,7 @@ let torture_cmd =
         let cases =
           T.grid ~litmus ~machines ~drops ~seeds ~iters ~perturb_rate ()
         in
-        let results = T.run_grid cases in
+        let results = T.run_grid ~domains cases in
         let failed = T.failures results in
         if table then print_string (T.render results)
         else if failed <> [] then print_string (T.render failed);
@@ -620,7 +648,61 @@ let torture_cmd =
   Cmd.v (Cmd.info "torture" ~doc)
     Term.(
       const run $ litmus_t $ machines_t $ drops_t $ seeds_t $ iters_t
-      $ perturb_t $ no_shrink_t $ smoke_t $ out_t $ table_t $ replay_t)
+      $ perturb_t $ no_shrink_t $ smoke_t $ out_t $ table_t $ replay_t
+      $ domains_t)
+
+(* --- tt pdes --- *)
+
+let pdes_cmd =
+  let nodes_t =
+    Arg.(
+      value & opt int 64
+      & info [ "n"; "nodes" ] ~doc:"PHOLD logical processes.")
+  in
+  let partitions_t =
+    Arg.(
+      value & opt int 4
+      & info [ "partitions" ]
+          ~doc:"Event-queue partitions (clamped to the node count).")
+  in
+  let horizon_t =
+    Arg.(
+      value & opt int 100_000
+      & info [ "horizon" ]
+          ~doc:"Events stop reproducing at this simulated cycle.")
+  in
+  let initial_t =
+    Arg.(
+      value & opt int 4
+      & info [ "initial" ] ~doc:"Initial event population per node.")
+  in
+  let run nodes partitions horizon initial seed domains =
+    let domains = resolve_domains domains in
+    note_parallel domains;
+    let r =
+      H.Pdes.run ~seed ~initial ~nodes ~partitions ~horizon ~domains ()
+    in
+    let lo = Array.fold_left min max_int r.H.Pdes.counts
+    and hi = Array.fold_left max 0 r.H.Pdes.counts in
+    Printf.printf
+      "PHOLD: %d nodes over %d partitions, horizon %d: %d events \
+       (%d..%d/node), final time %d, %d windows\n"
+      nodes (Array.length r.H.Pdes.log_hashes) horizon r.H.Pdes.total lo hi
+      r.H.Pdes.final_time r.H.Pdes.epochs;
+    Array.iteri
+      (fun p h -> Printf.printf "partition %d event-log hash: %016x\n" p h)
+      r.H.Pdes.log_hashes
+  in
+  let doc =
+    "PHOLD demo of the domains-parallel conservative engine: partitioned \
+     event queues advanced in lookahead windows, with per-partition \
+     event-log hashes that are bit-identical for every $(b,--domains) \
+     value (the determinism witness behind TT_DOMAINS)."
+  in
+  Cmd.v (Cmd.info "pdes" ~doc)
+    Term.(
+      const run $ nodes_t $ partitions_t $ horizon_t $ initial_t $ seed_t
+      $ domains_t)
 
 let list_cmd =
   let run () =
@@ -636,4 +718,5 @@ let () =
   let info = Cmd.info "tt" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; fig3_cmd; fig4_cmd; tables_cmd; ablations_cmd; sweep_cmd;
-         scale_cmd; faults_cmd; torture_cmd; verify_cmd; list_cmd ]))
+         scale_cmd; faults_cmd; torture_cmd; pdes_cmd; verify_cmd;
+         list_cmd ]))

@@ -141,12 +141,16 @@ let run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine ~name
 let run ?(apps = Catalog.names) ?(machine = "stache")
     ?(drops = [ 0.01; 0.05 ]) ?(seeds = [ 1; 2; 3 ]) ?request_drop
     ?response_drop ?burst ?credits ?spill ?(size = Catalog.Small)
-    ?(scale = 0.25) ?(nodes = 8) () =
-  List.concat_map
+    ?(scale = 0.25) ?(nodes = 8) ?(domains = 0) () =
+  (* parallel unit is the app, not the cell: every faulty cell compares
+     against its app's fault-free baseline, so the (baseline, grid) bundle
+     stays on one domain and the whole bundle fans out *)
+  Tt_sim.Domains.map ~domains
     (fun name ->
       run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine
         ~name ~size ~scale ~nodes ~drops ~seeds ())
     apps
+  |> List.concat
 
 let all_passed points =
   List.for_all (fun p -> p.outcome = Passed) points

@@ -47,7 +47,7 @@ val run :
   ?apps:string list -> ?machine:string -> ?drops:float list ->
   ?seeds:int list -> ?request_drop:float -> ?response_drop:float ->
   ?burst:Tt_net.Faults.burst -> ?credits:int -> ?spill:int ->
-  ?size:Catalog.size -> ?scale:float -> ?nodes:int ->
+  ?size:Catalog.size -> ?scale:float -> ?nodes:int -> ?domains:int ->
   unit -> point list
 (** Defaults: all catalog apps, machine ["stache"], drops [[0.01; 0.05]],
     seeds [[1; 2; 3]], small data sets at scale 0.25 on 8 nodes.
@@ -57,7 +57,9 @@ val run :
     runs (the baseline always uses the ample defaults), so cells exercise
     real backpressure: spilled handler sends, blocked CPU senders, and —
     when the spill capacity is small enough — a graceful [Overload] abort
-    instead of unbounded buffering. *)
+    instead of unbounded buffering.  [domains > 1] fans the per-app
+    (baseline + grid) bundles out over worker domains with bit-identical
+    points ({!Tt_sim.Domains.map}). *)
 
 val all_passed : point list -> bool
 

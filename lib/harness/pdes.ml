@@ -1,0 +1,94 @@
+module Engine = Tt_sim.Engine
+module Domains = Tt_sim.Domains
+module Prng = Tt_util.Prng
+
+(* PHOLD — the classic parallel-simulation benchmark workload — on the
+   domains-parallel engine.  [nodes] logical processes are partitioned
+   round-robin over [partitions] engines; every event at a node draws a
+   uniformly random target node and a random extra delay from the node's
+   private splitmix64 stream and schedules the successor event at
+   [now + lookahead + delay].  Events stop reproducing at the [horizon],
+   so the event population (initially [initial] per node) drains and the
+   run terminates.
+
+   Determinism claims, each pinned by test_parallel.ml:
+
+   - For a fixed [partitions], every per-partition event-key log — hashed
+     below via [Engine.set_trace] — is bit-identical for every [domains]
+     count: partitioning decides the schedule, domains only decide who
+     executes it.
+
+   - Across different [partitions] counts, the per-node event counts and
+     the final simulated time are identical: a node's events depend only
+     on its own PRNG stream, and simultaneous events at one node are
+     interchangeable (each consumes the next draws relative to the same
+     [now]), so the multiset of scheduled events is partition-invariant
+     even where tie order is not. *)
+
+type result = {
+  counts : int array; (* events fired per node *)
+  total : int;
+  final_time : int; (* max Engine.now over partitions *)
+  epochs : int; (* lookahead windows the group stepped through *)
+  log_hashes : int array; (* per-partition FNV-style hash of the key log *)
+  drained : bool;
+}
+
+let run ?(seed = 42) ?(initial = 4) ?(mean_step = 40)
+    ?(lookahead = Params.default.Params.net_latency) ~nodes ~partitions
+    ~horizon ~domains () =
+  if nodes <= 0 then invalid_arg "Pdes.run: nodes must be positive";
+  if initial <= 0 then invalid_arg "Pdes.run: initial must be positive";
+  if mean_step <= 0 then invalid_arg "Pdes.run: mean_step must be positive";
+  if horizon <= 0 then invalid_arg "Pdes.run: horizon must be positive";
+  let partitions = min partitions nodes in
+  let t = Domains.create ~partitions ~lookahead () in
+  let part_of node = node mod partitions in
+  let prngs = Array.init nodes (fun n -> Prng.create ~seed:(seed + n)) in
+  let counts = Array.make nodes 0 in
+  let hashes = Array.make partitions 0 in
+  for p = 0 to partitions - 1 do
+    Engine.set_trace (Domains.engine t p)
+      (Some
+         (fun key ->
+           hashes.(p) <- ((hashes.(p) lxor key) * 0x100000001b3) land max_int))
+  done;
+  (* one closure per event: PHOLD is the harness's workload, not a hot
+     path, and the allocation keeps the event self-describing *)
+  let rec event node () =
+    counts.(node) <- counts.(node) + 1;
+    let src = part_of node in
+    let now = Engine.now (Domains.engine t src) in
+    if now < horizon then begin
+      let g = prngs.(node) in
+      let target = Prng.int g nodes in
+      let delay = 1 + Prng.int g mean_step in
+      Domains.post t ~src ~dst:(part_of target) (now + lookahead + delay)
+        (event target)
+    end
+  in
+  for node = 0 to nodes - 1 do
+    let g = prngs.(node) in
+    for _ = 1 to initial do
+      (* seed events keep clear of t=0 so the first window is non-trivial *)
+      Engine.at
+        (Domains.engine t (part_of node))
+        (1 + Prng.int g mean_step)
+        (event node)
+    done
+  done;
+  let drained = Domains.run ~domains t in
+  let final_time =
+    Array.fold_left
+      (fun acc p -> max acc (Engine.now (Domains.engine t p)))
+      0
+      (Array.init partitions Fun.id)
+  in
+  {
+    counts;
+    total = Array.fold_left ( + ) 0 counts;
+    final_time;
+    epochs = Domains.epochs t;
+    log_hashes = hashes;
+    drained;
+  }

@@ -1,0 +1,38 @@
+(** PHOLD workload for the domains-parallel engine.
+
+    The standard PDES benchmark: [nodes] logical processes exchange
+    self-reproducing events with random targets and delays, partitioned
+    over [partitions] private engines advanced in lookahead windows by
+    {!Tt_sim.Domains}.  Used three ways: as the determinism witness in
+    test_parallel.ml (per-partition event-key logs bit-identical across
+    [domains] counts; per-node event counts and final time invariant
+    across [partitions] counts), as the parallel-speedup micro-benchmark
+    in bench/, and as the [tt pdes] demo. *)
+
+type result = {
+  counts : int array;  (** events fired per node *)
+  total : int;
+  final_time : int;  (** max partition-engine clock at drain *)
+  epochs : int;  (** lookahead windows stepped through *)
+  log_hashes : int array;
+      (** per-partition hash folded over the packed (time, salt, seq) key
+          of every fired event, in drain order *)
+  drained : bool;  (** [true] — the population always drains at horizon *)
+}
+
+val run :
+  ?seed:int ->
+  ?initial:int ->
+  ?mean_step:int ->
+  ?lookahead:int ->
+  nodes:int ->
+  partitions:int ->
+  horizon:int ->
+  domains:int ->
+  unit ->
+  result
+(** Defaults: seed 42, [initial] 4 events per node, mean inter-event step
+    40 cycles, lookahead [Params.default.net_latency].  Events fired at or
+    past [horizon] stop reproducing, so the run drains.  [partitions] is
+    clamped to [nodes]; [domains <= 1] runs every partition on the calling
+    domain (the oracle the parallel runs are compared against). *)

@@ -25,10 +25,14 @@ val default_nodes : int list
 
 val run :
   ?apps:string list -> ?nodes:int list -> ?scale:float -> ?cache_kb:int ->
-  unit -> point list
+  ?domains:int -> unit -> point list
 (** Defaults: all five Figure 3 apps, {!default_nodes}, scale 0.25 of the
     small data set, 256 KB CPU caches.  Points come out app-major in the
-    order given. *)
+    order given.  [domains > 1] fans the (app, nodes) grid cells out over
+    that many worker domains ({!Tt_sim.Domains.map}); cycle counts and
+    point order are bit-identical to the sequential sweep.  Note [cpu_s]
+    is process CPU time: with concurrent cells the per-point deltas
+    overlap and overcount — compare wall-clock, not their sum. *)
 
 val ratio : point -> float
 (** [stache_cycles / dirnnb_cycles] — below 1.0 means Typhoon/Stache wins. *)

@@ -102,6 +102,17 @@ val credit_return : t -> src:int -> dst:int -> Message.vnet -> unit
     Posts a drain chore on [src] iff the returning credit makes a parked
     message releasable (ample credits never schedule anything). *)
 
+val set_remote :
+  t ->
+  owner:(int -> bool) ->
+  forward:(src:int -> dst:int -> Message.vnet -> unit) ->
+  unit
+(** Partitioned-fabric glue (see [Tt_net.Fabric.set_partition]): a
+    {!credit_return} whose [src] fails the [owner] predicate is routed
+    through [forward] — typically a [Tt_sim.Domains.post] to the source
+    partition, whose own Flow instance holds that sender's credit pool —
+    instead of touching this instance's state. *)
+
 val deadlock : t -> string option
 (** Probe the waits-for graph: an edge src→dst exists when src has parked
     traffic for dst that is not currently releasable.  Returns a rendered

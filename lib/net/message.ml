@@ -44,7 +44,15 @@ module Pool = struct
      two vnets never contend for each other's messages (the paper's
      deadlock argument keeps the nets independent; the pools follow).
      Each bucket is a grow-only array used as a stack: push/pop allocate
-     nothing in steady state. *)
+     nothing in steady state.
+
+     Buckets and scratch arrays are domain-local (Domain.DLS): under the
+     domains-parallel harness several independent simulations (or fabric
+     partitions) run concurrently, and a shared freelist would be both a
+     data race and a cross-run coupling.  Each domain gets its own
+     freelists; a message released on a different domain than it was
+     acquired on simply lands in the releasing domain's freelist, which is
+     harmless imbalance, never corruption. *)
 
   let max_args = max_payload_words - 1 (* handler word leaves 19 arg slots *)
 
@@ -54,7 +62,11 @@ module Pool = struct
 
   let nbuckets = 2 * (max_args + 1)
 
-  let buckets = Array.init nbuckets (fun _ -> { items = [||]; len = 0 })
+  let buckets_key =
+    Domain.DLS.new_key (fun () ->
+        Array.init nbuckets (fun _ -> { items = [||]; len = 0 }))
+
+  let buckets () = Domain.DLS.get buckets_key
 
   let bucket_index vnet nargs =
     (match vnet with Request -> 0 | Response -> max_args + 1) + nargs
@@ -74,12 +86,14 @@ module Pool = struct
      values into the pooled message synchronously — so the scratch is free
      for reuse as soon as acquire returns, and no [| ... |] literal is
      allocated per send. *)
-  let scratch_arrays = Array.init (max_args + 1) (fun n -> Array.make n 0)
+  let scratch_key =
+    Domain.DLS.new_key (fun () ->
+        Array.init (max_args + 1) (fun n -> Array.make n 0))
 
   let scratch n =
     if n < 0 || n > max_args then
       invalid_arg (Printf.sprintf "Message.Pool.scratch: bad arity %d" n);
-    scratch_arrays.(n)
+    (Domain.DLS.get scratch_key).(n)
 
   let grow b seed =
     let cap = Array.length b.items in
@@ -98,7 +112,7 @@ module Pool = struct
          handing us a scratch array it will refill for its next send *)
       make ~src ~dst ~vnet ~handler ~args:(Array.copy args) ~data ~seq ~ack ()
     else begin
-      let b = buckets.(bucket_index vnet nargs) in
+      let b = (buckets ()).(bucket_index vnet nargs) in
       if b.len = 0 then begin
         let m =
           { src; dst; vnet; handler; args = Array.copy args; data; seq; ack;
@@ -155,7 +169,7 @@ module Pool = struct
           m.ack <- min_int;
           Array.fill m.args 0 nargs min_int
         end;
-        let b = buckets.(bucket_index m.vnet nargs) in
+        let b = (buckets ()).(bucket_index m.vnet nargs) in
         if b.len < bucket_cap then begin
           if b.len = Array.length b.items then grow b m;
           b.items.(b.len) <- m;
@@ -166,5 +180,6 @@ module Pool = struct
       end
     end
 
-  let free_count () = Array.fold_left (fun acc b -> acc + b.len) 0 buckets
+  let free_count () =
+    Array.fold_left (fun acc b -> acc + b.len) 0 (buckets ())
 end

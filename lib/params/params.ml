@@ -100,3 +100,18 @@ let validate t =
   else if t.np_queue_capacity <= 0 then err "np_queue_capacity must be positive"
   else if t.fabric_capacity <= 0 then err "fabric_capacity must be positive"
   else Ok ()
+
+(* TT_DOMAINS follows the TT_EVQ / TT_FASTPATH / TT_FLOW kill-switch
+   pattern: a simulator-implementation knob read from the environment, not
+   a machine parameter — it must never appear in [t], where it could leak
+   into labels or pinned outputs. *)
+let domains_of_env () =
+  match Sys.getenv_opt "TT_DOMAINS" with
+  | None | Some "" -> 0
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf
+               "TT_DOMAINS=%s: expected a non-negative domain count" s))

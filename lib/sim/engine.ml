@@ -43,6 +43,11 @@ type t = {
          continuations ([elidable_at]) must not advance [now] past it, or a
          watchdog-sliced run would observe different slice boundaries than
          the equivalent one-event-per-resume schedule. *)
+  mutable trace : (int -> unit) option;
+      (* drain observer: called with each fired event's packed key, before
+         the callback runs.  Powers the sequential-vs-parallel event-log
+         cross-checks (see Domains); [None] keeps [fire] branch-predicted
+         and allocation-free. *)
 }
 
 let nop () = ()
@@ -50,7 +55,7 @@ let nop () = ()
 let create ?queue () =
   let impl = match queue with Some i -> i | None -> Eventq.impl_of_env () in
   { events = Eventq.create impl; now = 0; seq = 0; tiebreak = None;
-    tiebreak_sites = 0; run_limit = max_int }
+    tiebreak_sites = 0; run_limit = max_int; trace = None }
 
 let queue_impl t = Eventq.impl t.events
 
@@ -60,13 +65,33 @@ let set_tiebreak t f = t.tiebreak <- f
 
 let tiebreak_sites t = t.tiebreak_sites
 
+let set_trace t f = t.trace <- f
+
+(* Packed-key field decoders, for event-log cross-checks and diagnostics. *)
+let key_time key = key asr seq_bits
+
+let key_seq key = key land (seq_limit - 1)
+
+let key_salt key = (key asr counter_bits) land (salt_limit - 1)
+
 let now t = t.now
 
 let pending t = Eventq.length t.events
 
 (* Renumber queued events with consecutive seqs starting from 0.  Draining
    the queue yields ascending (time, seq) order, so reassigning seq by drain
-   position preserves the relative order exactly. *)
+   position preserves the relative order exactly.
+
+   With a tie-break perturber installed the seq field is split: the high
+   [salt_bits] are ordering salt, not FIFO position, and a later same-time
+   push will carry its own salt.  Renumbering across the full field would
+   clobber the salt with drain position, so a rebased event would compare
+   against that later push by position instead of by salt.  Preserve the
+   time and salt bits and renumber only the FIFO counter, restarting it at
+   each (time, salt) boundary — same-(time, salt) events are contiguous in
+   drain order, so relative order is preserved, and every renumbered
+   counter stays below the fresh [t.seq = n] that later pushes truncate
+   from. *)
 let rebase t =
   let n = Eventq.length t.events in
   let keys = Array.make n 0 and fns = Array.make n nop in
@@ -74,9 +99,25 @@ let rebase t =
     keys.(i) <- Eventq.min_key t.events;
     fns.(i) <- Eventq.pop_exn t.events
   done;
-  for i = 0 to n - 1 do
-    Eventq.push t.events (((keys.(i) asr seq_bits) lsl seq_bits) lor i) fns.(i)
-  done;
+  (match t.tiebreak with
+  | None ->
+      (* pure-FIFO keys: the whole [seq_bits] field is drain position *)
+      for i = 0 to n - 1 do
+        Eventq.push t.events
+          (((keys.(i) asr seq_bits) lsl seq_bits) lor i)
+          fns.(i)
+      done
+  | Some _ ->
+      let counter = ref 0 in
+      for i = 0 to n - 1 do
+        (* [time lsl salt_bits lor salt]: everything above the counter *)
+        let ts = keys.(i) asr counter_bits in
+        if i > 0 && keys.(i - 1) asr counter_bits <> ts then counter := 0;
+        Eventq.push t.events
+          ((ts lsl counter_bits) lor (!counter land counter_mask))
+          fns.(i);
+        incr counter
+      done);
   t.seq <- n
 
 let at t time fn =
@@ -151,6 +192,7 @@ let skip_to t time =
    points used to duplicate. *)
 let fire t key =
   t.now <- key asr seq_bits;
+  (match t.trace with None -> () | Some f -> f key);
   let fn = Eventq.pop_exn t.events in
   (* FIFO order only matters among coexisting events: restart the tie
      counter whenever the queue drains so it can never overflow in

@@ -1,0 +1,60 @@
+(* Bounded single-producer/single-consumer ring buffer.
+
+   This is the cross-partition handoff primitive of the domains-parallel
+   engine (see Domains): during a window each partition pushes into its
+   private (src, dst) mailbox, and the destination partition drains it at
+   the window-edge barrier.  One domain pushes, one domain pops, and the
+   two phases are separated by a barrier, so the design only needs the
+   classic SPSC publication protocol under the OCaml memory model:
+
+   - the producer writes the slot with a plain store, then publishes it by
+     an [Atomic.set] of [tail] — the atomic write orders the slot write
+     before it;
+   - the consumer reads [tail] with [Atomic.get] before reading the slot —
+     the atomic read establishes happens-before with the matching set, so
+     the slot read can never observe a stale value;
+   - symmetrically, the consumer clears the slot (dropping the reference
+     for the GC) before bumping [head], and the producer re-checks [head]
+     before overwriting a slot.
+
+   [head]/[tail] are monotone counters; the ring index is [land mask].
+   Capacity is rounded up to a power of two. *)
+
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t; (* next slot to pop; only the consumer writes *)
+  tail : int Atomic.t; (* next slot to push; only the producer writes *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~capacity ~dummy () =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  let cap = pow2 capacity 1 in
+  { slots = Array.make cap dummy; mask = cap - 1; dummy;
+    head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let is_empty t = length t = 0
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop_exn t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then failwith "Mailbox.pop_exn: empty";
+  let v = t.slots.(head land t.mask) in
+  t.slots.(head land t.mask) <- t.dummy;
+  Atomic.set t.head (head + 1);
+  v

@@ -1,0 +1,31 @@
+(** Bounded single-producer/single-consumer mailbox.
+
+    The cross-partition event handoff ring of the domains-parallel engine
+    ({!Domains}): exactly one domain may push and exactly one domain may
+    pop.  Push and pop sides may run concurrently — slot contents are
+    published through the atomic [tail]/[head] counters following the OCaml
+    memory model's SPSC pattern — but neither side may itself be shared
+    between domains.
+
+    Capacity is fixed at creation (rounded up to a power of two); a full
+    mailbox refuses the push so the caller can surface a diagnostic rather
+    than buffer without bound. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills empty slots so popped elements don't linger for the GC. *)
+
+val capacity : 'a t -> int
+(** Actual capacity after rounding up to a power of two. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the mailbox is full.  Producer side only. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the oldest element; raises [Failure] when empty.  Consumer side
+    only. *)

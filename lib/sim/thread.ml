@@ -136,6 +136,14 @@ let fire t gen v =
     t.wait <- w_woken;
     Engine.at t.engine t.clock t.resume_event
   end
+  else if t.wait = w_idle then
+    (* a matching generation with an idle slot means no await/park is in
+       flight at all — e.g. [unpark] on a thread that never parked.  Distinct
+       from a double wake, which finds the slot in a fired state. *)
+    invalid_arg
+      (Printf.sprintf
+         "Thread %s: woken with no blocking operation in flight (slot idle)"
+         t.thread_name)
   else invalid_arg (Printf.sprintf "Thread %s woken twice" t.thread_name)
 
 let complete t v =

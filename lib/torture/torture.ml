@@ -342,7 +342,10 @@ let grid ?(litmus = Litmus.names) ?(machines = machines)
         machines)
     litmus
 
-let run_grid cases = List.map (fun c -> (c, run c)) cases
+let run_grid ?(domains = 0) cases =
+  (* every case builds its own machine and PRNGs; cases are independent,
+     so the grid fans out over worker domains with identical results *)
+  Tt_sim.Domains.map ~domains (fun c -> (c, run c)) cases
 
 let failures results =
   List.filter (fun (_, r) -> r.outcome <> Pass) results

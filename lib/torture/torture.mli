@@ -97,7 +97,10 @@ val grid :
     {perfect, drop 5%} × 8 seeds, 4 iterations, perturbation rate 0.25.
     [sabotage] defaults to the current global knob (i.e. [TT_SABOTAGE]). *)
 
-val run_grid : case list -> (case * result) list
+val run_grid : ?domains:int -> case list -> (case * result) list
+(** [domains > 1] fans the independent cases out over worker domains
+    ({!Tt_sim.Domains.map}); results and their order are bit-identical to
+    the sequential grid. *)
 
 val failures : (case * result) list -> (case * result) list
 

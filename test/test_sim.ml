@@ -161,6 +161,45 @@ let test_engine_rebase_fifo = run_rebase_fifo None
    rebase of salted keys *)
 let test_engine_rebase_fifo_tiebreak = run_rebase_fifo (Some (fun _ -> 0))
 
+(* Regression: rebase under a *nonzero*-salt perturber.  Renumbering the
+   full seq field would clobber the salt bits with drain position, so a
+   rebased event would order against a later same-time push by position
+   instead of by salt.  Pin that salts survive: three markers carrying
+   salts 3, 1, 2 cross a rebase, then a fourth arrives with salt 2 — it
+   must slot between the salt-2 and salt-3 survivors (salt order
+   1, 2, 2', 3), not after all of them. *)
+let test_engine_rebase_preserves_salt () =
+  let e = Engine.create () in
+  let salts = ref [ 3; 1; 2 ] in
+  Engine.set_tiebreak e
+    (Some
+       (fun _ ->
+         match !salts with
+         | s :: rest ->
+             salts := rest;
+             s
+         | [] -> 0));
+  let seq_limit = 1 lsl 20 in
+  let log = ref [] in
+  let marker i () = log := i :: !log in
+  for i = 0 to 2 do
+    Engine.at e 1_000_000 (marker i)
+  done;
+  let fired = ref 0 in
+  for _ = 1 to seq_limit - 3 do
+    Engine.after e 0 (fun () -> incr fired)
+  done;
+  check_bool "filler drained" false (Engine.run_until e ~limit:0);
+  check_int "filler fired" (seq_limit - 3) !fired;
+  check_int "markers still queued" 3 (Engine.pending e);
+  (* this push overflows seq, rebases the three salted markers, and then
+     carries its own salt 2 *)
+  salts := [ 2 ];
+  Engine.at e 1_000_000 (marker 3);
+  Engine.run e;
+  Alcotest.(check (list int)) "salt order across rebase" [ 1; 2; 3; 0 ]
+    (List.rev !log)
+
 (* The heap and calendar queues must produce bit-identical schedules: same
    firing order, same clock, under nested scheduling and perturbed
    tiebreaks alike.
@@ -263,6 +302,18 @@ let test_thread_wake_twice_rejected () =
   Engine.run e;
   Alcotest.check_raises "second wake rejected"
     (Invalid_argument "Thread t woken twice") (fun () -> !saved 0)
+
+(* [unpark] with no park/await in flight is a distinct bug from a double
+   wake and must say so: the slot is idle, nothing was ever registered. *)
+let test_thread_unpark_idle_rejected () =
+  let e = Engine.create () in
+  let th = Thread.spawn e ~name:"t" (fun th -> Thread.advance th 1) in
+  Engine.run e;
+  check_bool "finished" true (Thread.finished th);
+  Alcotest.check_raises "unpark on idle slot"
+    (Invalid_argument
+       "Thread t: woken with no blocking operation in flight (slot idle)")
+    (fun () -> Thread.unpark th)
 
 (* Fast-path slot: a waker that fires before registration returns must
    deliver its value inline, with no fiber suspension. *)
@@ -487,6 +538,8 @@ let () =
           Alcotest.test_case "rebase keeps FIFO" `Quick test_engine_rebase_fifo;
           Alcotest.test_case "rebase keeps FIFO (zero-salt tiebreak)" `Quick
             test_engine_rebase_fifo_tiebreak;
+          Alcotest.test_case "rebase preserves nonzero salts" `Quick
+            test_engine_rebase_preserves_salt;
           QCheck_alcotest.to_alcotest prop_engine_stable_order;
           QCheck_alcotest.to_alcotest prop_engine_queue_equivalence;
           Alcotest.test_case "hot path does not allocate" `Quick
@@ -498,6 +551,8 @@ let () =
           Alcotest.test_case "suspend/resume value" `Quick
             test_thread_suspend_resume_value;
           Alcotest.test_case "wake sets clock" `Quick test_thread_wake_sets_clock;
+          Alcotest.test_case "unpark on idle slot names the state" `Quick
+            test_thread_unpark_idle_rejected;
           Alcotest.test_case "wake twice rejected" `Quick
             test_thread_wake_twice_rejected;
           Alcotest.test_case "wake before registration returns" `Quick
