@@ -278,6 +278,50 @@ let flowcontrol_timing_parity () =
      identical with TT_FLOW=0)\n\n%!"
     (fst on) (snd on)
 
+(* Crash-stop recovery support must be free when nobody crashes: with no
+   crash schedule configured, the liveness hooks and window checks on the
+   transport's send/retransmit paths are dead branches, so the pinned
+   round trips — including the reliable-transport one, where those
+   branches live — must cost bit-identical cycles with recovery support
+   on and off (scripts/check_recovery.sh runs the whole suite and the
+   recover grid the same way). *)
+let recovery_timing_parity () =
+  let was = Tt_net.Faults.recovery_enabled () in
+  let cfg =
+    Tt_net.Faults.uniform ~seed:2026 ~drop:0.05 ~dup:0.0125 ~reorder:0.025 ()
+  in
+  let run on =
+    Tt_net.Faults.set_recovery on;
+    Fun.protect
+      ~finally:(fun () -> Tt_net.Faults.set_recovery was)
+      (fun () ->
+        let stache =
+          (fetch_round_trip
+             (H.Machine.typhoon_stache
+                ~reliability:(Tt_net.Reliable.Flaky cfg)))
+            .H.Run.cycles
+        in
+        let dirnnb =
+          (fetch_round_trip
+             (H.Machine.dirnnb ~reliability:(Tt_net.Reliable.Flaky cfg)))
+            .H.Run.cycles
+        in
+        (stache, dirnnb))
+  in
+  let on = run true and off = run false in
+  if on <> off then begin
+    Printf.eprintf
+      "FATAL: crash-recovery support changed simulated timing with no crash \
+       scheduled: on %s, off %s\n"
+      (Printf.sprintf "(stache %d, dirnnb %d)" (fst on) (snd on))
+      (Printf.sprintf "(stache %d, dirnnb %d)" (fst off) (snd off));
+    exit 1
+  end;
+  Printf.printf
+    "recovery timing parity: OK (reliable stache round trip %d cycles, \
+     dirnnb %d, identical with TT_RECOVERY=0)\n\n%!"
+    (fst on) (snd on)
+
 (* The domains-parallel engine must be deterministic: the same PHOLD
    schedule, partitioned four ways, must produce bit-identical
    per-partition event-log hashes whether one domain drives all four
@@ -523,6 +567,7 @@ let () =
   pool_timing_parity ();
   fastpath_timing_parity ();
   flowcontrol_timing_parity ();
+  recovery_timing_parity ();
   pdes_parity ();
   if not fast then reproduce_figures ()
   else print_endline "(TT_BENCH_FAST=1: skipping figure reproduction)\n";

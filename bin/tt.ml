@@ -443,15 +443,32 @@ let faults_cmd =
              ample). Overflowing it aborts that grid cell with a diagnostic \
              instead of buffering without bound.")
   in
-  let run apps machine drops seeds request_drop response_drop burst credits
-      spill nodes scale domains =
+  let crash_t =
+    let modes =
+      [ ("none", None); ("never", Some H.Recovery.Never);
+        ("quick", Some H.Recovery.Quick); ("late", Some H.Recovery.Late) ]
+    in
+    Arg.(
+      value
+      & opt (list (enum modes)) [ None ]
+      & info [ "crash" ]
+          ~doc:
+            "Comma-separated crash axis for the grid (crashes \xC3\x97 drops \
+             \xC3\x97 seeds): $(b,none) for message faults only, or \
+             $(b,never)/$(b,quick)/$(b,late) to additionally crash-stop node \
+             0 at 40% of the baseline runtime with that rejoin window; such \
+             cells run under the full recovery stack and report how they \
+             were brought to verified results.")
+  in
+  let run apps machine drops seeds crashes request_drop response_drop burst
+      credits spill nodes scale domains =
     let domains = resolve_domains domains in
     note_parallel domains;
     let pct = Option.map (fun p -> p /. 100.0) in
     let drops = List.map (fun p -> p /. 100.0) drops in
     let burst = if burst then Some (Tt_net.Faults.bursty ()) else None in
     let points =
-      H.Faultsweep.run ~apps ~machine ~drops ~seeds
+      H.Faultsweep.run ~apps ~machine ~drops ~seeds ~crashes
         ?request_drop:(pct request_drop) ?response_drop:(pct response_drop)
         ?burst ?credits ?spill ~scale ~nodes ~domains ()
     in
@@ -480,9 +497,102 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ apps_t $ machine_t $ drops_t $ seeds_t $ req_drop_t
-      $ resp_drop_t $ burst_t $ credits_t $ spill_t $ nodes_t $ scale_t
-      $ domains_t)
+      const run $ apps_t $ machine_t $ drops_t $ seeds_t $ crash_t
+      $ req_drop_t $ resp_drop_t $ burst_t $ credits_t $ spill_t $ nodes_t
+      $ scale_t $ domains_t)
+
+(* --- tt recover --- *)
+
+let recover_cmd =
+  let apps_t =
+    Arg.(
+      value
+      & opt (list (enum (List.map (fun n -> (n, n)) H.Catalog.names)))
+          H.Catalog.names
+      & info [ "apps" ] ~doc:"Comma-separated benchmarks to sweep.")
+  in
+  let machine_t =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) H.Recovery.machines)) "stache"
+      & info [ "m"; "machine" ] ~doc:"Machine: stache or dirnnb.")
+  in
+  let victims_t =
+    Arg.(
+      value
+      & opt (list int) [ 0; 3 ]
+      & info [ "victims" ] ~doc:"Comma-separated crash victims (node ranks).")
+  in
+  let crash_t =
+    Arg.(
+      value
+      & opt (list float) [ 40.0 ]
+      & info [ "crash-at" ]
+          ~doc:
+            "Comma-separated crash times, as percent of the app's \
+             fault-free baseline cycles.")
+  in
+  let rejoins_t =
+    let modes =
+      [ ("never", H.Recovery.Never); ("quick", H.Recovery.Quick);
+        ("late", H.Recovery.Late) ]
+    in
+    Arg.(
+      value
+      & opt (list (enum modes)) [ H.Recovery.Never; H.Recovery.Quick;
+                                  H.Recovery.Late ]
+      & info [ "rejoin" ]
+          ~doc:
+            "Comma-separated rejoin modes: $(b,never) (crash-stop \
+             forever), $(b,quick) (window below the detection lease \
+             \xE2\x80\x94 expect masking), $(b,late) (well past it \
+             \xE2\x80\x94 expect re-homing).")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt (list int) [ 1 ]
+      & info [ "seeds" ] ~doc:"Comma-separated fault-model seeds.")
+  in
+  let scale_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "scale" ] ~doc:"Data-set scale factor (default 0.25).")
+  in
+  let nodes_t =
+    Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
+  in
+  let run apps machine victims crash_pcts rejoins seeds nodes scale domains =
+    let domains = resolve_domains domains in
+    note_parallel domains;
+    if not (Tt_net.Faults.recovery_enabled ()) then
+      print_endline
+        "note: TT_RECOVERY=0 — crash injection is disabled; every cell \
+         runs fault-free";
+    let crash_fracs = List.map (fun p -> p /. 100.0) crash_pcts in
+    let points =
+      H.Recovery.run ~apps ~machine ~victims ~crash_fracs ~rejoins ~seeds
+        ~scale ~nodes ~domains ()
+    in
+    print_string (H.Recovery.render points);
+    print_newline ();
+    if H.Recovery.all_passed points then
+      print_endline
+        "all cells ended in verified results (in place or after rollback) \
+         or a diagnosed abort"
+    else begin
+      print_endline "FAILURES above";
+      exit 1
+    end
+  in
+  let doc =
+    "Crash-stop recovery sweep: crash a node mid-run (lease/heartbeat \
+     detection, page re-homing, checkpoint restore or rollback) and verify \
+     every cell against the fault-free oracle."
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(
+      const run $ apps_t $ machine_t $ victims_t $ crash_t $ rejoins_t
+      $ seeds_t $ nodes_t $ scale_t $ domains_t)
 
 (* --- tt torture --- *)
 
@@ -718,5 +828,5 @@ let () =
   let info = Cmd.info "tt" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; fig3_cmd; fig4_cmd; tables_cmd; ablations_cmd; sweep_cmd;
-         scale_cmd; faults_cmd; torture_cmd; pdes_cmd; verify_cmd;
-         list_cmd ]))
+         scale_cmd; faults_cmd; recover_cmd; torture_cmd; pdes_cmd;
+         verify_cmd; list_cmd ]))

@@ -35,6 +35,8 @@ let h_upgrade_ok = 8 (* home -> requester               args [block]        *)
 
 let h_writeback = 9 (* evictor -> home                  args [block] + data *)
 
+let h_noop = 10 (* recovery sink: scrub target for crash-era held messages *)
+
 (* Fill grants delivered back to a stalled CPU. *)
 let grant_shared = 0
 
@@ -135,6 +137,9 @@ type node = {
   (* blocks with an outstanding miss: wake the CPU, passing the replacement
      cycles the fill incurred *)
   pending : (int, int -> unit) Hashtbl.t;
+  (* which request handler each outstanding miss used, so crash recovery
+     can re-issue a request whose home (or response) died with a node *)
+  pending_kind : (int, int) Hashtbl.t;
   (* writebacks of ours the home has not yet processed; the CPU must not
      take the directory fast path for such a block or a stale writeback
      would clear ownership it just re-acquired *)
@@ -150,6 +155,11 @@ type t = {
   homes : (int, int) Hashtbl.t; (* vpage -> home node *)
   mutable alloc_cursor : int;
   mutable next_home : int;
+  (* crash-stop recovery: the liveness verdict, and the write observer for
+     checkpoint dirty tracking (every store lands in home memory, so one
+     callback site per typed store covers all value mutation) *)
+  mutable is_dead : int -> bool;
+  mutable on_dirty : (vpage:int -> unit) option;
 }
 
 let engine t = t.engine
@@ -253,6 +263,7 @@ let deliver_grant t home ~requester block grant =
     match Hashtbl.find_opt home.pending block with
     | Some wake ->
         Hashtbl.remove home.pending block;
+        Hashtbl.remove home.pending_kind block;
         let repl = ctrl_fill t home block grant in
         wake repl
     | None ->
@@ -441,6 +452,22 @@ let finish_txn t home block (txn : Directory.txn) =
   dbg block "t=%d finish_txn home=%d req=%d" home.ctrl.Ctrl.clock home.id
     txn.Directory.requester;
   let entry = Directory.entry home.dir ~block in
+  if t.is_dead txn.Directory.requester then begin
+    (* the requester died mid-transaction: the conflicting copies are gone
+       (or going), so complete to a quiescent idle state instead of
+       granting ownership into the void *)
+    (match txn.Directory.kind with
+    | Directory.Read ->
+        (match entry.Directory.owner with
+        | Some o when not (t.is_dead o) -> Bitset.add entry.Directory.sharers o
+        | Some _ | None -> ());
+        entry.Directory.owner <- None
+    | Directory.Read_ex | Directory.Upgrade ->
+        entry.Directory.owner <- None;
+        clear_sharers entry);
+    complete_txn t home block
+  end
+  else begin
   (match txn.Directory.kind with
   | Directory.Read ->
       (* old owner (if any) keeps a shared copy; requester joins *)
@@ -462,6 +489,7 @@ let finish_txn t home block (txn : Directory.txn) =
       deliver_grant t home ~requester:txn.Directory.requester block
         grant_upgrade);
   complete_txn t home block
+  end
 
 let ctrl_exec t node msg =
   let p = t.params in
@@ -542,6 +570,7 @@ let ctrl_exec t node msg =
     match Hashtbl.find_opt node.pending block with
     | Some wake ->
         Hashtbl.remove node.pending block;
+        Hashtbl.remove node.pending_kind block;
         let grant =
           if handler = h_upgrade_ok then grant_upgrade
           else if args.(1) = 1 then grant_exclusive
@@ -554,6 +583,10 @@ let ctrl_exec t node msg =
           (Printf.sprintf "Dirnnb: node %d got a fill for 0x%x with no miss"
              node.id block)
   end
+  else if handler = h_noop then
+    (* a crash-era message neutralized by the recovery scrub
+       (Reliable.scrub_unacked): consume and discard *)
+    Ctrl.charge ctrl 1
   else invalid_arg (Printf.sprintf "Dirnnb: unknown handler %d" handler)
 
 let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
@@ -592,12 +625,14 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
           c_writebacks = Stats.counter stats "writebacks";
           c_recalls = Stats.counter stats "recalls";
           pending = Hashtbl.create 4;
+          pending_kind = Hashtbl.create 4;
           wb_inflight = Hashtbl.create 4;
         })
   in
   let t =
     { engine; params = p; fabric; net; nodes; homes = Hashtbl.create 4096;
-      alloc_cursor = 0x1000_0000; next_home = 0 }
+      alloc_cursor = 0x1000_0000; next_home = 0;
+      is_dead = (fun _ -> false); on_dirty = None }
   in
   Array.iter
     (fun node ->
@@ -678,6 +713,7 @@ let miss_via_directory t node th ~home ~handler block =
             Thread.set_clock th
               (max (Thread.clock th) node.ctrl.Ctrl.clock);
             wake repl);
+        Hashtbl.replace node.pending_kind block handler;
         Reliable.send t.net ~at:(Thread.clock th) msg)
   in
   Thread.advance th
@@ -781,6 +817,9 @@ let cpu_read_f64 t ~node th vaddr =
 
 let cpu_write_f64 t ~node th vaddr v =
   cpu_access t ~node th Tag.Store vaddr;
+  (match t.on_dirty with
+  | Some f -> f ~vpage:(Addr.page_of vaddr)
+  | None -> ());
   Pagemem.write_f64 t.nodes.(page_home t ~vpage:(Addr.page_of vaddr)).mem ~vaddr
     v
 
@@ -790,8 +829,215 @@ let cpu_read_int t ~node th vaddr =
 
 let cpu_write_int t ~node th vaddr v =
   cpu_access t ~node th Tag.Store vaddr;
+  (match t.on_dirty with
+  | Some f -> f ~vpage:(Addr.page_of vaddr)
+  | None -> ());
   Pagemem.write_int t.nodes.(page_home t ~vpage:(Addr.page_of vaddr)).mem ~vaddr
     v
+
+(* ------------------------------------------------------------------ *)
+(* Crash-stop recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let set_is_dead t f = t.is_dead <- f
+
+let set_on_dirty t f = t.on_dirty <- f
+
+let noop_handler = h_noop
+
+(* Checkpoint assist: a copy of [vpage]'s canonical content.  Home memory
+   is always authoritative on DirNNB (every store lands there), so this
+   only fails for unallocated pages.  Zero simulated cost — the
+   checkpoint copy is modeled as overlapped with the barrier. *)
+let snapshot_page t ~vpage =
+  match Hashtbl.find_opt t.homes vpage with
+  | None -> None
+  | Some home -> (
+      match Pagemem.find_page t.nodes.(home).mem ~vpage with
+      | None -> None
+      | Some page -> Some (Bytes.copy page.Pagemem.data))
+
+(* Repair the machine after [dead]'s confirmed crash.  DirNNB's
+   write-through-for-values model shapes the split: every store already
+   landed in the home node's memory, so a dead sharer or owner loses
+   nothing but directory bookkeeping — only pages *homed* on the victim
+   lose their canonical content, and those come back from the caller's
+   checkpoint ([restore ~vpage], [None] unless provably clean since the
+   snapshot) or force a rollback upstream.
+
+   Runs synchronously at the liveness verdict (the recovery daemon is
+   modeled off the critical path); repair-triggered protocol messages are
+   sent at the current cycle and pay normal network and directory costs. *)
+let on_node_death t ~dead ~new_home ~restore =
+  let nnodes = Array.length t.nodes in
+  if dead < 0 || dead >= nnodes then
+    invalid_arg "Dirnnb.on_node_death: bad victim";
+  if new_home = dead || new_home < 0 || new_home >= nnodes
+     || t.is_dead new_home
+  then invalid_arg "Dirnnb.on_node_death: bad new home";
+  let live n = n <> dead && not (t.is_dead n) in
+  let now = Engine.now t.engine in
+  (* repair work sends messages from controller context: pull every live
+     controller's clock up to the verdict so nothing is sent in the past *)
+  Array.iter
+    (fun n ->
+      if live n.id then n.ctrl.Ctrl.clock <- max n.ctrl.Ctrl.clock now)
+    t.nodes;
+  let deadn = t.nodes.(dead) in
+
+  (* --- the victim's cache contents are gone ------------------------- *)
+  let dead_blocks = ref [] in
+  Cache.iter deadn.cache (fun block _ -> dead_blocks := block :: !dead_blocks);
+  List.iter
+    (fun block -> ignore (Cache.invalidate deadn.cache ~block))
+    (List.sort compare !dead_blocks);
+  Hashtbl.reset deadn.wb_inflight;
+
+  (* --- re-home pages homed on the victim ---------------------------- *)
+  let dead_pages =
+    List.sort compare
+      (Hashtbl.fold
+         (fun vpage home acc -> if home = dead then vpage :: acc else acc)
+         t.homes [])
+  in
+  let rehomed = Hashtbl.create 16 in
+  List.iter
+    (fun vpage ->
+      (match restore ~vpage with
+      | None ->
+          raise
+            (Tt_net.Faults.Unrecoverable
+               (Printf.sprintf
+                  "dirnnb recovery: page 0x%x was homed on crashed node %d \
+                   and no clean checkpoint covers it"
+                  vpage dead))
+      | Some bytes ->
+          let page =
+            Pagemem.map t.nodes.(new_home).mem ~vpage ~home:new_home ~mode:0
+              ~init_tag:Tag.Read_write
+          in
+          Bytes.blit bytes 0 page.Tt_mem.Pagemem.data 0 Addr.page_size;
+          Stats.add t.nodes.(new_home).stats "recovery.blocks_restored"
+            Addr.blocks_per_page);
+      Pagemem.unmap deadn.mem ~vpage;
+      Hashtbl.replace t.homes vpage new_home;
+      Hashtbl.replace rehomed vpage ();
+      Stats.incr t.nodes.(new_home).stats "recovery.pages_rehomed";
+      (* rebuild the directory from the survivors' cache states — the
+         user-level equivalent of polling every live node for its copies.
+         Caches hold state only (values are canonical at home memory), so
+         this loses no data. *)
+      for index = 0 to Addr.blocks_per_page - 1 do
+        let block = (vpage * Addr.blocks_per_page) + index in
+        let entry = Directory.entry t.nodes.(new_home).dir ~block in
+        entry.Directory.busy <- None;
+        entry.Directory.owner <- None;
+        clear_sharers entry;
+        Queue.clear entry.Directory.waiting;
+        for n = 0 to nnodes - 1 do
+          if live n then
+            match Cache.probe t.nodes.(n).cache ~block with
+            | Some Cache.Exclusive -> entry.Directory.owner <- Some n
+            | Some Cache.Shared -> Bitset.add entry.Directory.sharers n
+            | None -> ()
+        done;
+        (* an owner and leftover sharers cannot coexist in a rebuilt
+           entry — exclusivity is cache-enforced — but a lone exclusive
+           holder found here keeps ownership, which is exactly what the
+           old directory knew *)
+        if entry.Directory.owner <> None then clear_sharers entry
+      done)
+    dead_pages;
+
+  (* --- purge the victim from surviving directories ------------------ *)
+  Array.iter
+    (fun home ->
+      if live home.id then begin
+        let entries = ref [] in
+        Directory.iter home.dir (fun block entry ->
+            entries := (block, entry) :: !entries);
+        List.iter
+          (fun (block, (entry : Directory.entry)) ->
+            (* requests the victim parked behind a busy transaction *)
+            let keep = Queue.create () in
+            Queue.iter
+              (fun (kind, r) -> if r <> dead then Queue.add (kind, r) keep)
+              entry.Directory.waiting;
+            Queue.clear entry.Directory.waiting;
+            Queue.transfer keep entry.Directory.waiting;
+            match entry.Directory.busy with
+            | Some txn ->
+                if entry.Directory.owner = Some dead then begin
+                  (* the recall target died: its recall_data will never
+                     arrive, but home memory already holds current values
+                     (write-through), so the transaction just finishes *)
+                  entry.Directory.owner <- None;
+                  finish_txn t home block txn
+                end
+                else begin
+                  (* the victim may owe an invalidation ack: it was a
+                     target iff it was a (possibly broadcast) sharer and
+                     not the requester *)
+                  let was_target =
+                    dead <> txn.Directory.requester
+                    && (Bitset.mem entry.Directory.sharers dead
+                       || (entry.Directory.overflowed && dead <> home.id))
+                  in
+                  Bitset.remove entry.Directory.sharers dead;
+                  if was_target then begin
+                    txn.Directory.acks_left <- txn.Directory.acks_left - 1;
+                    if txn.Directory.acks_left = 0 then
+                      finish_txn t home block txn
+                  end
+                end
+            | None ->
+                Bitset.remove entry.Directory.sharers dead;
+                if entry.Directory.owner = Some dead then
+                  entry.Directory.owner <- None)
+          (List.sort (fun (a, _) (b, _) -> compare a b) !entries)
+      end)
+    t.nodes;
+
+  (* --- re-issue survivors' requests lost with the old home ---------- *)
+  (* The stalled CPU's wake continuation stays registered in [pending];
+     only the request (or its response) died with the victim, so re-send
+     the same request — recorded in [pending_kind] — to the new home. *)
+  Array.iter
+    (fun n ->
+      if live n.id then
+        List.iter
+          (fun (block, handler) ->
+            if
+              Hashtbl.mem rehomed (block * Addr.block_size / Addr.page_size)
+            then
+              send1 t ~src:n.id ~at:now ~dst:new_home ~vnet:Message.Request
+                ~handler ~with_data:false block)
+          (List.sort compare
+             (Hashtbl.fold
+                (fun block handler acc -> (block, handler) :: acc)
+                n.pending_kind [])))
+    t.nodes
+
+(* The victim resumed heartbeating: its cache was emptied and every page
+   it homed has moved, so the only stale state is transport bookkeeping
+   (scrubbed by the caller) and its own outstanding misses — re-send each
+   to the block's current home and let the pending wake fire normally. *)
+let on_node_rejoin t ~node =
+  let n = t.nodes.(node) in
+  Hashtbl.reset n.wb_inflight;
+  n.ctrl.Ctrl.clock <- max n.ctrl.Ctrl.clock (Engine.now t.engine);
+  let now = Engine.now t.engine in
+  List.iter
+    (fun (block, handler) ->
+      let home =
+        page_home t ~vpage:(block * Addr.block_size / Addr.page_size)
+      in
+      send1 t ~src:node ~at:now ~dst:home ~vnet:Message.Request ~handler
+        ~with_data:false block)
+    (List.sort compare
+       (Hashtbl.fold
+          (fun block handler acc -> (block, handler) :: acc)
+          n.pending_kind []))
 
 (* Protocol messages executed across all directory controllers: the
    machine's delivery-progress metric for the watchdog (see Np.handled). *)

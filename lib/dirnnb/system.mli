@@ -79,3 +79,50 @@ val check_invariants : t -> (unit, string) result
     owner excludes sharers, an exclusively-cached line is registered at the
     directory, no transaction left pending.  Intended for quiescent points
     (barriers, end of run). *)
+
+(** {2 Crash-stop recovery}
+
+    The hardware-protocol counterpart of {!Tt_stache}'s recovery entry
+    points, driven by the same {!Tt_harness.Recovery} layer.  DirNNB's
+    write-through-for-values model makes the split simple: a dead sharer
+    or owner loses only directory bookkeeping (values are canonical at
+    home memory); only pages homed on the victim lose content and need
+    the checkpoint. *)
+
+val set_is_dead : t -> (int -> bool) -> unit
+(** Install the liveness verdict.  Besides the repair passes, the grant
+    path consults it: a transaction whose requester died completes to an
+    idle state instead of granting ownership into the void. *)
+
+val set_on_dirty : t -> (vpage:int -> unit) option -> unit
+(** Write observer for checkpoint dirty tracking, fired on every CPU
+    store (all of which land in home memory).  Pure bookkeeping: charges
+    no simulated cycles. *)
+
+val noop_handler : int
+(** Handler id of the recovery no-op sink — the rewrite target for
+    {!Tt_net.Reliable.scrub_unacked}. *)
+
+val snapshot_page : t -> vpage:int -> Bytes.t option
+(** Checkpoint assist: a copy of [vpage]'s canonical content from home
+    memory (always authoritative on DirNNB — every store lands there), or
+    [None] for an unallocated page.  Zero simulated cost. *)
+
+val on_node_death :
+  t -> dead:int -> new_home:int -> restore:(vpage:int -> Bytes.t option) ->
+  unit
+(** Repair after [dead]'s confirmed crash: drop its cache lines, re-home
+    its pages to [new_home] (content from [restore ~vpage], which must be
+    [None] unless the page is provably clean since its last snapshot;
+    directory rebuilt from the survivors' cache states), purge it from
+    surviving directories (sharer bits, owed acks, stuck recalls, parked
+    requests), and re-issue survivors' outstanding misses whose home
+    died.
+    @raise Tt_net.Faults.Unrecoverable when a re-homed page has no clean
+    checkpoint — the caller must roll back. *)
+
+val on_node_rejoin : t -> node:int -> unit
+(** The victim resumed heartbeating: clear its stale writeback
+    bookkeeping and re-send its outstanding misses to each block's
+    current home.  Call after the transport scrub and replay
+    ({!Tt_net.Reliable.on_peer_alive}). *)

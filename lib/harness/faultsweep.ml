@@ -8,6 +8,8 @@ type point = {
   app : string;
   machine_label : string;
   drop : float;
+  crash : Recovery.rejoin option;
+  recovery : Recovery.outcome option;
   seed : int;
   cycles : int;
   base_cycles : int;
@@ -39,19 +41,20 @@ let make_machine ~machine ?reliability params =
    axis rate for that vnet only; the taxonomy still follows each vnet's
    effective drop rate, so an asymmetric grid cell (lossy requests under
    clean responses, or vice versa) keeps the same fault mix per vnet. *)
-let config_of ?request_drop ?response_drop ?burst ~drop ~seed () =
+let config_of ?request_drop ?response_drop ?burst ?crashes ~drop ~seed () =
   let rates d =
     { Faults.drop = d; dup = d /. 4.0; reorder = d /. 2.0 }
   in
   let req = Option.value request_drop ~default:drop in
   let resp = Option.value response_drop ~default:drop in
-  Faults.per_vnet ~seed ?burst ~request:(rates req) ~response:(rates resp) ()
+  Faults.per_vnet ~seed ?burst ?crashes ~request:(rates req)
+    ~response:(rates resp) ()
 
 let total_msgs stats =
   Stats.get stats "msgs.request" + Stats.get stats "msgs.response"
 
-let run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine ~name
-    ~size ~scale ~nodes ~drops ~seeds () =
+let run_app ?request_drop ?response_drop ?burst ?credits ?spill
+    ?(crashes = [ None ]) ~machine ~name ~size ~scale ~nodes ~drops ~seeds () =
   (* fault-free baseline under ample default capacities: the oracle every
      faulty run must match, and the yardstick for the watchdog budgets —
      never the overload configuration itself *)
@@ -71,18 +74,71 @@ let run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine ~name
     | Some s -> { p with Params.flow_spill_capacity = s }
     | None -> p
   in
-  let base, base_msgs =
+  let base, base_msgs, latency =
     let m = make_machine ~machine base_params in
     let app = Catalog.make ~name ~size ~scale ~nprocs:nodes in
     let r = Run.spmd m ~name app.Catalog.body in
     ignore
       (Run.spmd m ~name:(name ^ "-verify") ~check:false app.Catalog.verify);
-    (r, total_msgs r.Run.run_stats)
+    (r, total_msgs r.Run.run_stats, Reliable.latency m.Machine.net)
   in
+  (* crash cells share {!Recovery.run}'s geometry: victim 0 goes down at
+     40% of the fault-free runtime, and the rejoin windows sit against the
+     same detection lease (heartbeat period 32 fabric latencies, budget 4) *)
+  let crash_at = max 1 (int_of_float (0.4 *. float_of_int base.Run.cycles)) in
+  let lease = 4 * (32 * latency) in
   List.concat_map
-    (fun drop ->
-      List.map
-        (fun seed ->
+    (fun crash ->
+      List.concat_map
+        (fun drop ->
+          List.map (fun seed -> (crash, drop, seed)) seeds)
+        drops)
+    crashes
+  |> List.map (fun (crash, drop, seed) ->
+         match crash with
+         | Some rj ->
+             let rejoin =
+               match rj with
+               | Recovery.Never -> None
+               | Recovery.Quick -> Some (crash_at + (lease / 2))
+               | Recovery.Late -> Some (crash_at + (4 * lease))
+             in
+             let config =
+               config_of ?request_drop ?response_drop ?burst
+                 ~crashes:[ Faults.crash ?rejoin ~victim:0 ~at:crash_at () ]
+                 ~drop ~seed ()
+             in
+             (* the recovery harness owns the whole cell: liveness wiring,
+                checkpoints, rollback, and oracle verification.  Capacity
+                squeezes ([credits]/[spill]) don't apply to crash cells. *)
+             let er =
+               Recovery.exec ~machine ~name ~size ~scale ~nodes ~config ~base
+                 ~base_msgs ()
+             in
+             let s = er.Recovery.cell_stats in
+             {
+               app = name;
+               machine_label = er.Recovery.label;
+               drop;
+               crash;
+               recovery = Some er.Recovery.outcome;
+               seed;
+               cycles = er.Recovery.cycles;
+               base_cycles = base.Run.cycles;
+               data_sent = Stats.get s "reliable.data_sent";
+               retransmits = Stats.get s "reliable.retransmits";
+               acks = Stats.get s "reliable.acks_sent";
+               dropped = Stats.get s "faults.dropped";
+               duplicated = Stats.get s "faults.duplicated";
+               reordered = Stats.get s "faults.reordered";
+               spilled = Stats.get s "flow.spilled";
+               blocked = Stats.get s "flow.blocked";
+               outcome =
+                 (match er.Recovery.failed with
+                 | None -> Passed
+                 | Some msg -> Failed msg);
+             }
+         | None ->
           let reliability =
             Reliable.Flaky
               (config_of ?request_drop ?response_drop ?burst ~drop ~seed ())
@@ -102,6 +158,8 @@ let run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine ~name
               app = name;
               machine_label = m.Machine.label;
               drop;
+              crash = None;
+              recovery = None;
               seed;
               cycles;
               base_cycles = base.Run.cycles;
@@ -135,20 +193,23 @@ let run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine ~name
           | exception Failure msg -> finish (Failed msg) 0
           | exception Invalid_argument msg ->
               finish (Failed ("Invalid_argument: " ^ msg)) 0)
-        seeds)
-    drops
 
 let run ?(apps = Catalog.names) ?(machine = "stache")
-    ?(drops = [ 0.01; 0.05 ]) ?(seeds = [ 1; 2; 3 ]) ?request_drop
-    ?response_drop ?burst ?credits ?spill ?(size = Catalog.Small)
+    ?(drops = [ 0.01; 0.05 ]) ?(seeds = [ 1; 2; 3 ]) ?(crashes = [ None ])
+    ?request_drop ?response_drop ?burst ?credits ?spill ?(size = Catalog.Small)
     ?(scale = 0.25) ?(nodes = 8) ?(domains = 0) () =
+  if machine = "update" && List.exists Option.is_some crashes then
+    invalid_arg
+      "Faultsweep: the custom update protocol does not implement the \
+       crash-recovery entry points; use --machine stache or dirnnb with \
+       --crash";
   (* parallel unit is the app, not the cell: every faulty cell compares
      against its app's fault-free baseline, so the (baseline, grid) bundle
      stays on one domain and the whole bundle fans out *)
   Tt_sim.Domains.map ~domains
     (fun name ->
-      run_app ?request_drop ?response_drop ?burst ?credits ?spill ~machine
-        ~name ~size ~scale ~nodes ~drops ~seeds ())
+      run_app ?request_drop ?response_drop ?burst ?credits ?spill ~crashes
+        ~machine ~name ~size ~scale ~nodes ~drops ~seeds ())
     apps
   |> List.concat
 
@@ -163,7 +224,8 @@ let render points =
          verified against the fault-free oracle)"
       ~columns:
         [ ("app", Tt_util.Tablefmt.Left); ("machine", Tt_util.Tablefmt.Left);
-          ("drop%", Tt_util.Tablefmt.Right); ("seed", Tt_util.Tablefmt.Right);
+          ("drop%", Tt_util.Tablefmt.Right);
+          ("crash", Tt_util.Tablefmt.Left); ("seed", Tt_util.Tablefmt.Right);
           ("cycles", Tt_util.Tablefmt.Right);
           ("xbase", Tt_util.Tablefmt.Right);
           ("sent", Tt_util.Tablefmt.Right); ("retx", Tt_util.Tablefmt.Right);
@@ -178,6 +240,9 @@ let render points =
       Tt_util.Tablefmt.add_row t
         [ p.app; p.machine_label;
           Printf.sprintf "%.1f" (100.0 *. p.drop);
+          (match p.crash with
+          | None -> "-"
+          | Some rj -> Recovery.rejoin_label rj);
           string_of_int p.seed; string_of_int p.cycles;
           (if p.cycles = 0 then "-"
            else
@@ -187,6 +252,9 @@ let render points =
           string_of_int p.acks; string_of_int p.dropped;
           string_of_int p.duplicated; string_of_int p.reordered;
           string_of_int p.spilled; string_of_int p.blocked;
-          (match p.outcome with Passed -> "ok" | Failed m -> "FAIL: " ^ m) ])
+          (match (p.outcome, p.recovery) with
+          | Failed m, _ -> "FAIL: " ^ m
+          | Passed, None -> "ok"
+          | Passed, Some o -> "ok: " ^ Recovery.outcome_label o) ])
     points;
   Tt_util.Tablefmt.render t

@@ -15,6 +15,12 @@ type point = {
   app : string;
   machine_label : string;
   drop : float;  (** per-message drop probability, both vnets *)
+  crash : Recovery.rejoin option;
+      (** [Some _] marks a crash cell: victim 0 crash-stops at 40% of the
+          baseline runtime with the given rejoin window, on top of the
+          cell's message faults *)
+  recovery : Recovery.outcome option;
+      (** how a crash cell's run was brought to verified results *)
   seed : int;
   cycles : int;  (** 0 when the run failed *)
   base_cycles : int;
@@ -34,7 +40,8 @@ val machines : string list
 
 val config_of :
   ?request_drop:float -> ?response_drop:float -> ?burst:Tt_net.Faults.burst ->
-  drop:float -> seed:int -> unit -> Tt_net.Faults.config
+  ?crashes:Tt_net.Faults.crash list -> drop:float -> seed:int -> unit ->
+  Tt_net.Faults.config
 (** The sweep's fault taxonomy for one grid cell: drop at the given rate,
     duplicate at a quarter of it, reorder at half of it, on both vnets.
     [request_drop]/[response_drop] override the drop rate for that vnet
@@ -45,14 +52,23 @@ val config_of :
 
 val run :
   ?apps:string list -> ?machine:string -> ?drops:float list ->
-  ?seeds:int list -> ?request_drop:float -> ?response_drop:float ->
+  ?seeds:int list -> ?crashes:Recovery.rejoin option list ->
+  ?request_drop:float -> ?response_drop:float ->
   ?burst:Tt_net.Faults.burst -> ?credits:int -> ?spill:int ->
   ?size:Catalog.size -> ?scale:float -> ?nodes:int -> ?domains:int ->
   unit -> point list
 (** Defaults: all catalog apps, machine ["stache"], drops [[0.01; 0.05]],
-    seeds [[1; 2; 3]], small data sets at scale 0.25 on 8 nodes.
-    [request_drop]/[response_drop] apply the same per-vnet override to
-    every grid cell (the [drops] axis still sets the other vnet's rate).
+    seeds [[1; 2; 3]], no crashes, small data sets at scale 0.25 on
+    8 nodes.  [request_drop]/[response_drop] apply the same per-vnet
+    override to every grid cell (the [drops] axis still sets the other
+    vnet's rate).  [crashes] adds a crash axis to the grid
+    (crashes × drops × seeds): [None] is the ordinary message-faults-only
+    cell, [Some rejoin] additionally crash-stops victim 0 at 40% of the
+    baseline runtime and hands the cell to {!Recovery.exec}, which reports
+    how it was brought to verified results (masked / rehomed /
+    rolled-back) in {!point.recovery}.  Crash cells ignore the
+    [credits]/[spill] squeezes and raise [Invalid_argument] on the
+    ["update"] machine (no recovery entry points).
     [credits]/[spill] squeeze the flow-control capacities for the faulty
     runs (the baseline always uses the ample defaults), so cells exercise
     real backpressure: spilled handler sends, blocked CPU senders, and —

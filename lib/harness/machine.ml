@@ -27,6 +27,11 @@ type t = {
   hooks : (string, node:int -> Thread.t -> unit) Hashtbl.t;
   special_allocs :
     (string, node:int -> Thread.t -> ?home:int -> int -> int) Hashtbl.t;
+  (* recovery-layer attachment points, None unless a recovery harness is
+     driving this machine: a post-barrier callback (checkpoint snapshots)
+     and a liveness census for watchdog diagnostics *)
+  mutable on_barrier : (proc:int -> Thread.t -> unit) option;
+  mutable liveness : (unit -> string) option;
 }
 
 let typhoon_stache_full ?reliability ?max_stache_pages params =
@@ -66,6 +71,8 @@ let typhoon_stache_full ?reliability ?max_stache_pages params =
       deadlock = (fun () -> Typhoon.deadlock_probe sys);
       hooks = Hashtbl.create 4;
       special_allocs = Hashtbl.create 4;
+      on_barrier = None;
+      liveness = None;
     }
   in
   machine, sys, stache
@@ -98,6 +105,8 @@ let dirnnb_full ?reliability params =
       deadlock = (fun () -> None);
       hooks = Hashtbl.create 4;
       special_allocs = Hashtbl.create 4;
+      on_barrier = None;
+      liveness = None;
     }
   in
   machine, sys

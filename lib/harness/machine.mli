@@ -38,6 +38,14 @@ type t = {
     (string, node:int -> Tt_sim.Thread.t -> ?home:int -> int -> int) Hashtbl.t;
       (** named allocators for custom-protocol memory; applications reach
           them through {!Tt_app.Env.t.alloc_kind} *)
+  mutable on_barrier : (proc:int -> Tt_sim.Thread.t -> unit) option;
+      (** recovery attachment point: called by {!Run.spmd}'s environment
+          after every barrier release, on every participant — the
+          checkpoint layer snapshots shared pages here.  [None] (never
+          called) unless a recovery harness installs it. *)
+  mutable liveness : (unit -> string) option;
+      (** liveness census (e.g. {!Tt_net.Liveness.summary}) appended to
+          watchdog expiry diagnostics; [None] outside recovery runs. *)
 }
 
 val typhoon_stache :

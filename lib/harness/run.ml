@@ -48,7 +48,12 @@ let make_env (machine : Machine.t) ~barrier ~locks ~locks_mu ~proc th =
         Thread.advance th n;
         Thread.maybe_yield th);
     prefetch = (fun vaddr -> machine.Machine.mprefetch ~node:proc th vaddr);
-    barrier = (fun () -> Barrier.wait barrier th);
+    barrier =
+      (fun () ->
+        Barrier.wait barrier th;
+        match machine.Machine.on_barrier with
+        | Some f -> f ~proc th
+        | None -> ());
     lock = (fun i -> Lock.acquire (lock_of i) th);
     unlock = (fun i -> Lock.release (lock_of i) th);
     alloc = (fun ?home bytes -> machine.Machine.alloc ~node:proc th ?home bytes);
@@ -95,6 +100,7 @@ let spmd (machine : Machine.t) ~name ?(check = true) ?watchdog body =
       Watchdog.drive w machine.Machine.engine
         ~progress:machine.Machine.delivered ~queues:machine.Machine.queues
         ~deadlock:machine.Machine.deadlock
+        ?liveness:machine.Machine.liveness
         ~retransmits:(fun () ->
           Tt_net.Reliable.retransmits machine.Machine.net));
   Array.iteri

@@ -25,11 +25,15 @@ let create ?max_cycles ?max_retransmits ?max_stall ?(check_interval = 10_000)
     invalid_arg "Watchdog.create: no budget given";
   { max_cycles; max_retransmits; max_stall; check_interval }
 
-let drive ?progress ?queues ?deadlock t engine ~retransmits =
+let drive ?progress ?queues ?deadlock ?liveness t engine ~retransmits =
   let occupancy () =
-    match queues with
-    | Some q -> "; queues: " ^ q ()
-    | None -> ""
+    let q = match queues with Some q -> "; queues: " ^ q () | None -> "" in
+    (* the liveness census distinguishes a crash-induced stall from a
+       livelock: every Expired message names who is alive/suspected/dead *)
+    let l =
+      match liveness with Some l -> "; liveness: " ^ l () | None -> ""
+    in
+    q ^ l
   in
   let check_retransmits ~completed =
     match t.max_retransmits with

@@ -33,6 +33,7 @@ val drive :
   ?progress:(unit -> int) ->
   ?queues:(unit -> string) ->
   ?deadlock:(unit -> string option) ->
+  ?liveness:(unit -> string) ->
   t ->
   Tt_sim.Engine.t ->
   retransmits:(unit -> int) ->
@@ -48,6 +49,9 @@ val drive :
     {!Expired} message.  [deadlock] is a waits-for-graph probe (e.g.
     {!Tt_typhoon.System.deadlock_probe}) consulted only on slices with
     zero progress — a reported cycle aborts immediately with the probe's
-    diagnostic naming the blocked nodes.  All {!Expired} messages include
-    the current retransmit count and the number of pending events.
+    diagnostic naming the blocked nodes.  [liveness] renders the failure
+    detector's census (e.g. {!Tt_net.Liveness.summary}), appended to every
+    {!Expired} message so a crash-induced stall is distinguishable from a
+    livelock.  All {!Expired} messages include the current retransmit
+    count and the number of pending events.
     @raise Expired on a blown budget or a detected deadlock. *)

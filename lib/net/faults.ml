@@ -24,21 +24,49 @@ let bursty ?(p_enter = 0.05) ?(p_exit = 0.25) ?(good_scale = 0.0)
     invalid_arg "Faults.bursty: negative rate scale";
   { p_enter; p_exit; good_scale; bad_scale }
 
+exception Unrecoverable of string
+
+type crash = { victim : int; at : int; jitter : int; rejoin : int option }
+
+let crash ?(jitter = 0) ?rejoin ~victim ~at () =
+  if at < 0 then invalid_arg "Faults.crash: negative crash time";
+  if jitter < 0 then invalid_arg "Faults.crash: negative jitter";
+  (match rejoin with
+  | Some r when r <= at -> invalid_arg "Faults.crash: rejoin before crash"
+  | _ -> ());
+  { victim; at; jitter; rejoin }
+
 type config = {
   seed : int;
   request : rates;
   response : rates;
   max_jitter : int;
   burst : burst option;
+  crashes : crash list;
 }
 
-let uniform ?(seed = 0x7700) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
-    ?(max_jitter = 40) ?burst () =
-  let r = { drop; dup; reorder } in
-  { seed; request = r; response = r; max_jitter; burst }
+(* TT_RECOVERY=0 disables crash-stop injection entirely: [create] ignores
+   the config's crash schedule, so every pinned row is bit-identical to the
+   pre-crash-era code by construction (asserted by the recovery parity
+   bench and scripts/check_recovery.sh). *)
+let recovery_on =
+  ref
+    (match Sys.getenv_opt "TT_RECOVERY" with
+    | Some ("0" | "false" | "off") -> false
+    | Some _ | None -> true)
 
-let per_vnet ?(seed = 0x7700) ?(max_jitter = 40) ?burst ~request ~response () =
-  { seed; request; response; max_jitter; burst }
+let set_recovery on = recovery_on := on
+
+let recovery_enabled () = !recovery_on
+
+let uniform ?(seed = 0x7700) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
+    ?(max_jitter = 40) ?burst ?(crashes = []) () =
+  let r = { drop; dup; reorder } in
+  { seed; request = r; response = r; max_jitter; burst; crashes }
+
+let per_vnet ?(seed = 0x7700) ?(max_jitter = 40) ?burst ?(crashes = [])
+    ~request ~response () =
+  { seed; request; response; max_jitter; burst; crashes }
 
 type decision = { dropped : bool; reorder_jitter : int; dup_jitter : int }
 
@@ -53,6 +81,14 @@ type t = {
   c_duplicated : Stats.counter;
   c_reordered : Stats.counter;
   c_burst_bad : Stats.counter;
+  c_crash_dropped : Stats.counter;
+  (* Resolved crash-stop windows, one per node: down during
+     [down_from.(n), up_from.(n)) (max_int = never).  Crash-time jitter is
+     drawn from a private per-victim stream at create, never from the main
+     stream, so a config with [crashes = []] consumes the main stream
+     draw-for-draw identically to one predating crash support. *)
+  down_from : int array;
+  up_from : int array;
   (* Gilbert–Elliott link state, lazily allocated per (src,dst) link.  Each
      link owns a private PRNG stream for its state transitions so the main
      stream's pinned draw order (see .mli) is untouched by burst mode. *)
@@ -67,6 +103,28 @@ let create config fabric =
   let counters = Stats.create "faults" in
   let nnodes = Fabric.nodes fabric in
   let nlinks = match config.burst with None -> 0 | Some _ -> nnodes * nnodes in
+  let down_from = Array.make nnodes max_int in
+  let up_from = Array.make nnodes max_int in
+  if recovery_enabled () then
+    List.iter
+      (fun c ->
+        if c.victim < 0 || c.victim >= nnodes then
+          invalid_arg
+            (Printf.sprintf "Faults.create: crash victim %d out of [0,%d)"
+               c.victim nnodes);
+        let j =
+          if c.jitter <= 0 then 0
+          else
+            let g =
+              Prng.create ~seed:(config.seed lxor ((c.victim + 1) * 0x85EBCA6B))
+            in
+            Prng.int g (c.jitter + 1)
+        in
+        let down = c.at + j in
+        down_from.(c.victim) <- down;
+        up_from.(c.victim) <-
+          (match c.rejoin with None -> max_int | Some r -> max (down + 1) r))
+      config.crashes;
   {
     fabric;
     prng = Prng.create ~seed:config.seed;
@@ -76,6 +134,9 @@ let create config fabric =
     c_duplicated = Stats.counter counters "faults.duplicated";
     c_reordered = Stats.counter counters "faults.reordered";
     c_burst_bad = Stats.counter counters "faults.burst_bad_sends";
+    c_crash_dropped = Stats.counter counters "faults.crash_dropped";
+    down_from;
+    up_from;
     nnodes;
     link_rngs = Array.make nlinks None;
     link_bad = Array.make nlinks false;
@@ -86,6 +147,22 @@ let create config fabric =
 let stats t = t.counters
 
 let dropped t = Stats.Counter.get t.c_dropped
+
+let is_down t ~node ~at =
+  node >= 0 && node < t.nnodes
+  && at >= t.down_from.(node)
+  && at < t.up_from.(node)
+
+let crash_window t ~node =
+  if node < 0 || node >= t.nnodes || t.down_from.(node) = max_int then None
+  else
+    Some
+      ( t.down_from.(node),
+        if t.up_from.(node) = max_int then None else Some t.up_from.(node) )
+
+let crash_drop t msg =
+  Stats.Counter.incr t.c_crash_dropped;
+  Message.Pool.release msg
 
 let set_tap t tap = t.tap <- tap
 
@@ -136,7 +213,7 @@ let effective_rates t (msg : Message.t) r =
           reorder = Float.min 1.0 (r.reorder *. scale);
         }
 
-let send t ~at msg =
+let send_faulty t ~at msg =
   let r =
     match msg.Message.vnet with
     | Message.Request -> t.config.request
@@ -183,3 +260,20 @@ let send t ~at msg =
       Fabric.send t.fabric ~at:(at + d.dup_jitter) msg
     end
   end
+
+let send t ~at msg =
+  (* A crashed source's network interface is dead silicon: the send
+     vanishes before the fault model even sees it — no PRNG draw, no tap
+     site, so crash schedules never shift the pinned main-stream order. *)
+  if is_down t ~node:msg.Message.src ~at then crash_drop t msg
+  else send_faulty t ~at msg
+
+(* Out-of-band send for the liveness protocol: bypasses the fault model's
+   PRNG entirely (heartbeats must not perturb the pinned draw order, and a
+   lossy fabric delaying a heartbeat is modelled by the lease budget, not
+   by per-message faults) but still respects crash-stop windows on both
+   ends.  A down destination is checked again at delivery by the reliable
+   layer; the send-time check here just short-circuits the common case. *)
+let send_oob t ~at msg =
+  if is_down t ~node:msg.Message.src ~at then crash_drop t msg
+  else Fabric.send t.fabric ~at msg

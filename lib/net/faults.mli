@@ -63,26 +63,63 @@ val bursty :
     good_scale 0, bad_scale 10.  @raise Invalid_argument on probabilities
     outside [0,1] or negative scales. *)
 
+exception Unrecoverable of string
+(** Raised by recovery layers (Stache/DirNNB re-homing) when a crash lost
+    the only copy of modified data and no valid checkpoint covers it: the
+    diagnosed, deterministic abort that the recovery harness converts into
+    a rollback (re-execution) or a final [Unrecoverable] verdict — never a
+    silent wrong answer.  Declared here because the crash-stop failure
+    model lives in this module and every recovery layer depends on it. *)
+
+type crash = {
+  victim : int;      (** node that crash-stops *)
+  at : int;          (** nominal crash cycle *)
+  jitter : int;      (** max extra delay, drawn from a private per-victim
+                         stream (never the main stream) *)
+  rejoin : int option;  (** [Some c]: the node comes back at cycle [c];
+                            [None]: crash-stop forever *)
+}
+(** A seeded crash-stop schedule entry: from its (possibly jittered) crash
+    cycle until its rejoin cycle (or forever), the victim's fabric endpoint
+    silently drops every send and receive.  The simulator state (memory,
+    fibers) is untouched — detection and recovery are the user level's
+    problem, exactly as the paper's philosophy demands. *)
+
+val crash : ?jitter:int -> ?rejoin:int -> victim:int -> at:int -> unit -> crash
+(** @raise Invalid_argument on a negative crash time or jitter, or a rejoin
+    cycle not after the crash cycle. *)
+
 type config = {
   seed : int;
   request : rates;   (** applied to {!Message.vnet} [Request] traffic *)
   response : rates;  (** applied to [Response] traffic *)
   max_jitter : int;  (** max extra delay (cycles) for reordered/dup copies *)
   burst : burst option;  (** [Some _] enables bursty-loss mode *)
+  crashes : crash list;  (** crash-stop schedule (empty = no node dies) *)
 }
 
 val uniform :
   ?seed:int -> ?drop:float -> ?dup:float -> ?reorder:float ->
-  ?max_jitter:int -> ?burst:burst -> unit -> config
+  ?max_jitter:int -> ?burst:burst -> ?crashes:crash list -> unit -> config
 (** Same rates on both virtual networks (defaults: all 0, seed 0x7700,
-    max_jitter 40, no burst). *)
+    max_jitter 40, no burst, no crashes). *)
 
 val per_vnet :
-  ?seed:int -> ?max_jitter:int -> ?burst:burst -> request:rates ->
-  response:rates -> unit -> config
+  ?seed:int -> ?max_jitter:int -> ?burst:burst -> ?crashes:crash list ->
+  request:rates -> response:rates -> unit -> config
 (** Distinct rates per virtual network — e.g. a lossy request net under a
     clean response net, the asymmetry the [tt faults]
     [--request-drop]/[--response-drop] flags expose. *)
+
+val set_recovery : bool -> unit
+(** Kill switch (also [TT_RECOVERY=0] in the environment): when off,
+    {!create} ignores the config's crash schedule entirely, so every
+    pinned row is bit-identical to crash support never having existed.
+    Crash injection consumes no main-stream PRNG draws either way; the
+    switch exists so the claim is enforceable by an A/B gate
+    (scripts/check_recovery.sh) rather than argued. *)
+
+val recovery_enabled : unit -> bool
 
 type decision = { dropped : bool; reorder_jitter : int; dup_jitter : int }
 (** The complete fault decision for one {!send}: [dropped] wins over the
@@ -99,7 +136,31 @@ val create : config -> Fabric.t -> t
 val send : t -> at:int -> Message.t -> unit
 (** Like {!Fabric.send}, but the message may be dropped, delivered twice, or
     delayed by up to [max_jitter] extra cycles (which lets later traffic on
-    the same pair overtake it). *)
+    the same pair overtake it).  A send whose {e source} is inside a
+    crash-stop window is dropped silently before the fault model runs — no
+    PRNG draw, no tap site — counted as [faults.crash_dropped].  (A down
+    {e destination} is handled at delivery time by {!Reliable}.) *)
+
+val send_oob : t -> at:int -> Message.t -> unit
+(** Out-of-band send for the liveness protocol: bypasses the fault model's
+    PRNG and rates entirely (no drop/dup/reorder draws — lost heartbeats
+    are modelled by the lease budget, not per-message faults) but still
+    drops sends from a crashed source.  Goes straight to {!Fabric.send}. *)
+
+val is_down : t -> node:int -> at:int -> bool
+(** Whether [node] is inside a crash-stop window at cycle [at].  Pure:
+    windows are resolved once at {!create} (per-victim jitter drawn from
+    private streams), so this never consumes randomness. *)
+
+val crash_window : t -> node:int -> (int * int option) option
+(** The resolved window for [node]: [Some (down, rejoin)] where [rejoin]
+    is [None] for a permanent crash-stop; [None] if the node never
+    crashes (including when recovery is switched off). *)
+
+val crash_drop : t -> Message.t -> unit
+(** Swallow a message on behalf of a crashed endpoint: count it under
+    [faults.crash_dropped] and release the wire's reference.  Used by
+    {!Reliable} for deliveries whose destination is down. *)
 
 val set_tap : t -> (site:int -> decision -> decision) option -> unit
 (** Install (or remove) a decision tap.  When set, every {!send} first
@@ -116,7 +177,8 @@ val sites : t -> int
 
 val stats : t -> Tt_util.Stats.t
 (** Counters: [faults.dropped], [faults.duplicated], [faults.reordered],
-    and in burst mode [faults.burst_bad_sends] (sends decided in a link's
-    bad state). *)
+    [faults.crash_dropped] (sends or deliveries swallowed by a crash-stop
+    window), and in burst mode [faults.burst_bad_sends] (sends decided in
+    a link's bad state). *)
 
 val dropped : t -> int

@@ -1,0 +1,76 @@
+(** User-level failure detection: a lease/heartbeat protocol on its own
+    logical channel.
+
+    Tempest puts policy in user software; this module is the {e detection}
+    policy for crash-stop failures.  Every node broadcasts a heartbeat each
+    [period] on the transport's out-of-band liveness channel
+    ({!Reliable.liveness_handler}: unsequenced, unacked, fault-PRNG-exempt
+    — only crash-stop windows can swallow it).  A monitor declares a peer
+    {e dead} once it has been silent longer than [lease_budget × period]
+    (and {e suspected} past half that), and feeds the verdict back into
+    {!Reliable.set_liveness} so retransmission storms toward dead peers
+    become prompt {!Reliable.Peer_dead} notifications (or recovery-layer
+    callbacks).  A declared-dead peer whose heartbeats resume is flipped
+    back to alive — the rejoin path.
+
+    Because the out-of-band channel bypasses the fault PRNG and the fabric
+    latency is constant, every live observer hears each heartbeat at the
+    same cycle, so the per-observer suspicion matrices of a real gossip
+    protocol collapse into one agreed, deterministic system-wide verdict
+    (documented as a modelling simplification in DESIGN.md §6).
+
+    The heartbeat and monitor loops re-arm themselves forever, which would
+    keep the event queue from draining: call {!stop} when the application
+    finishes (the recovery harness does this from the last-finishing SPMD
+    thread). *)
+
+type status = Alive | Suspected | Dead
+
+val status_to_string : status -> string
+
+type t
+
+val create :
+  ?period:int -> ?lease_budget:int -> Tt_sim.Engine.t -> Reliable.t -> t
+(** Starts the per-node heartbeat loops (staggered one cycle apart) and
+    the monitor loop immediately.  [period] defaults to 32× the fabric
+    latency; [lease_budget] (missed periods before a death verdict)
+    defaults to 4.  Also installs itself as the transport's liveness
+    receiver and verdict ({!Reliable.set_liveness_receiver} /
+    {!Reliable.set_liveness}).
+    @raise Invalid_argument under a [Perfect] transport, or on a
+    non-positive period or a lease budget below 2. *)
+
+val set_on_dead : t -> (int -> unit) -> unit
+(** Hook fired once per death verdict, with the dead node's rank. *)
+
+val set_on_alive : t -> (int -> unit) -> unit
+(** Hook fired when a declared-dead node's heartbeats resume. *)
+
+val stop : t -> unit
+(** Stop both loops (the already-scheduled next events fire once and
+    expire).  Verdict state stays queryable. *)
+
+val status : t -> int -> status
+
+val is_dead : t -> int -> bool
+
+val lowest_live : t -> int
+(** Deterministic election: the lowest rank not declared dead.
+    @raise Invalid_argument if every node is dead. *)
+
+val period : t -> int
+
+val deaths : t -> int
+(** Death verdicts fired so far. *)
+
+val revivals : t -> int
+(** Rejoin verdicts fired so far. *)
+
+val summary : t -> string
+(** One-line census for watchdog diagnostics, e.g.
+    ["7/8 alive, dead [3]"]. *)
+
+val stats : t -> Tt_util.Stats.t
+(** Counters: [liveness.heartbeats], [liveness.deaths],
+    [liveness.revivals]. *)

@@ -5,7 +5,11 @@ type policy = Perfect | Flaky of Faults.config
 
 exception Link_failed of string
 
+exception Peer_dead of string
+
 let ack_handler = -1
+
+let liveness_handler = -2
 
 (* Sender-side state for one (owner, peer) pair: the owner stamps every
    outgoing message with the next sequence number and keeps it queued until
@@ -20,6 +24,8 @@ type chan = {
   mutable timer_gen : int;  (* engine events can't be cancelled; stale
                                timer firings compare against this *)
   mutable timer_armed : bool;
+  mutable parked : bool;  (* peer declared dead (or we crashed): hold the
+                             unacked queue, stop the retransmit clock *)
 }
 
 (* Receiver-side state for one (peer, owner) pair: in-order delivery point
@@ -46,11 +52,20 @@ type flaky = {
   senders : chan option array;  (* src * nnodes + dst *)
   rstates : rchan option array; (* src * nnodes + dst, held at dst *)
   apps : (Message.t -> unit) option array;
+  (* liveness wiring: [is_dead] is the user-level protocol's verdict
+     (default: nobody is ever dead — bit-identical to the pre-liveness
+     code); [death_notice] converts a dead-peer encounter into a callback
+     instead of a [Peer_dead] raise; [liveness_rx] consumes out-of-band
+     heartbeat messages (transport handler [liveness_handler]). *)
+  mutable is_dead : int -> bool;
+  mutable death_notice : (src:int -> dst:int -> unit) option;
+  mutable liveness_rx : (Message.t -> unit) option;
   c_data_sent : Stats.counter;
   c_retransmits : Stats.counter;
   c_acks_sent : Stats.counter;
   c_dup_dropped : Stats.counter;
   c_window_drops : Stats.counter;
+  c_rejoin_retransmits : Stats.counter;
 }
 
 type t = {
@@ -67,7 +82,8 @@ let sender st ~src ~dst =
   | None ->
       let ch =
         { ch_src = src; ch_dst = dst; next_seq = 0; unacked = Queue.create ();
-          retries = 0; rto = st.base_rto; timer_gen = 0; timer_armed = false }
+          retries = 0; rto = st.base_rto; timer_gen = 0; timer_armed = false;
+          parked = false }
       in
       st.senders.(i) <- Some ch;
       ch
@@ -90,9 +106,47 @@ let rec arm_retx st ch =
   let gen = ch.timer_gen in
   Engine.after st.engine ch.rto (fun () -> on_retx_timer st ch gen)
 
+(* Liveness declared the destination dead: stop the retransmit clock and
+   keep the unacked queue (a rejoin is a healed partition — the queue is
+   replayed by [on_peer_alive]).  From here on this channel contributes
+   nothing to [reliable.retransmits], so a dead peer can no longer burn the
+   watchdog's retransmit budget.  Without a recovery layer listening, the
+   verdict surfaces immediately as [Peer_dead] — the prompt notification
+   that replaces a [max_retries]-long retransmission storm. *)
+and park_dead st ch =
+  ch.parked <- true;
+  ch.timer_armed <- false;
+  ch.timer_gen <- ch.timer_gen + 1;
+  ch.retries <- 0;
+  match st.death_notice with
+  | Some f -> f ~src:ch.ch_src ~dst:ch.ch_dst
+  | None ->
+      raise
+        (Peer_dead
+           (Printf.sprintf
+              "reliable: peer %d declared dead by liveness (link %d->%d, %d \
+               unacked messages held)"
+              ch.ch_dst ch.ch_src ch.ch_dst (Queue.length ch.unacked)))
+
 and on_retx_timer st ch gen =
   if gen <> ch.timer_gen then ()
   else if Queue.is_empty ch.unacked then ch.timer_armed <- false
+  else if st.is_dead ch.ch_dst then park_dead st ch
+  else if
+    Faults.is_down st.faults ~node:ch.ch_src ~at:(Engine.now st.engine)
+  then begin
+    (* we are the crashed node: nothing leaves the NIC, so resending is
+       pointless and these rounds must not burn the retry budget.  Keep
+       the timer ticking (with backoff) so a sub-lease outage resumes
+       retransmission by itself once the node reboots — there is no
+       verdict, hence no [on_peer_alive] replay, in that case.  If the
+       outage did outlast the lease, the death-verdict scrub has already
+       rewritten this queue to no-ops, so a post-reboot resend racing the
+       revival verdict replays harmless no-ops in sequence order. *)
+    ch.retries <- 0;
+    ch.rto <- min (2 * ch.rto) st.rto_cap;
+    arm_retx st ch
+  end
   else begin
     ch.retries <- ch.retries + 1;
     if ch.retries > st.max_retries then
@@ -134,7 +188,8 @@ let process_ack st ~owner ~peer ackno =
         ch.retries <- 0;
         ch.rto <- st.base_rto;
         ch.timer_gen <- ch.timer_gen + 1;
-        if Queue.is_empty ch.unacked then ch.timer_armed <- false
+        if Queue.is_empty ch.unacked || ch.parked then
+          ch.timer_armed <- false
         else arm_retx st ch
       end
 
@@ -184,12 +239,21 @@ let deliver st msg =
    table's reference; released back to the app when drained). *)
 let on_wire st msg =
   let s = msg.Message.src and d = msg.Message.dst in
+  (* a crashed destination's endpoint is deaf: the delivery vanishes before
+     any transport state (acks, sequencing, liveness) can observe it *)
+  if Faults.is_down st.faults ~node:d ~at:(Engine.now st.engine) then
+    Faults.crash_drop st.faults msg
+  else begin
   if msg.Message.ack >= 0 then process_ack st ~owner:d ~peer:s msg.Message.ack;
   if msg.Message.seq < 0 then begin
-    (* unsequenced: standalone acks (consumed here) or local short-circuit
-       traffic that bypassed the transport *)
-    if msg.Message.handler <> ack_handler then deliver st msg
-    else Message.Pool.release msg
+    (* unsequenced: standalone acks and liveness heartbeats (consumed
+       here) or local short-circuit traffic that bypassed the transport *)
+    if msg.Message.handler = ack_handler then Message.Pool.release msg
+    else if msg.Message.handler = liveness_handler then begin
+      (match st.liveness_rx with Some f -> f msg | None -> ());
+      Message.Pool.release msg
+    end
+    else deliver st msg
   end
   else begin
     let rc = rstate st ~src:s ~dst:d in
@@ -231,6 +295,7 @@ let on_wire st msg =
       arm_ack st ~src:s ~dst:d rc
     end
   end
+  end
 
 let flaky_send (st : flaky) ~at msg =
   let src = msg.Message.src and dst = msg.Message.dst in
@@ -260,8 +325,17 @@ let flaky_send (st : flaky) ~at msg =
     Message.Pool.retain msg;
     Queue.add msg ch.unacked;
     Stats.Counter.incr st.c_data_sent;
-    if not ch.timer_armed then arm_retx st ch;
-    Faults.send st.faults ~at msg
+    if ch.parked then
+      (* peer declared dead: hold for a possible rejoin, never wire it *)
+      Message.Pool.release msg
+    else if st.is_dead dst then begin
+      Message.Pool.release msg;
+      park_dead st ch
+    end
+    else begin
+      if not ch.timer_armed then arm_retx st ch;
+      Faults.send st.faults ~at msg
+    end
   end
 
 let create ?base_rto ?rto_cap ?(max_retries = 10) ?ack_delay ?(window = 512)
@@ -292,11 +366,16 @@ let create ?base_rto ?rto_cap ?(max_retries = 10) ?ack_delay ?(window = 512)
             senders = Array.make (n * n) None;
             rstates = Array.make (n * n) None;
             apps = Array.make n None;
+            is_dead = (fun _ -> false);
+            death_notice = None;
+            liveness_rx = None;
             c_data_sent = Stats.counter counters "reliable.data_sent";
             c_retransmits = Stats.counter counters "reliable.retransmits";
             c_acks_sent = Stats.counter counters "reliable.acks_sent";
             c_dup_dropped = Stats.counter counters "reliable.dup_dropped";
             c_window_drops = Stats.counter counters "reliable.window_drops";
+            c_rejoin_retransmits =
+              Stats.counter counters "reliable.rejoin_retransmits";
           }
         in
         for node = 0 to n - 1 do
@@ -320,6 +399,125 @@ let set_receiver t ~node f =
       if node < 0 || node >= st.nnodes then
         invalid_arg "Reliable.set_receiver";
       st.apps.(node) <- Some f
+
+let send_oob t ~at msg =
+  match t.flaky with
+  | None -> Fabric.send t.fabric ~at msg
+  | Some st -> Faults.send_oob st.faults ~at msg
+
+let set_liveness t ~is_dead =
+  match t.flaky with
+  | None -> invalid_arg "Reliable.set_liveness: Perfect transport"
+  | Some st -> st.is_dead <- is_dead
+
+let set_death_notice t f =
+  match t.flaky with
+  | None -> invalid_arg "Reliable.set_death_notice: Perfect transport"
+  | Some st -> st.death_notice <- f
+
+let set_liveness_receiver t f =
+  match t.flaky with
+  | None -> invalid_arg "Reliable.set_liveness_receiver: Perfect transport"
+  | Some st -> st.liveness_rx <- Some f
+
+(* Called on the liveness verdict: every channel toward the dead node stops
+   its retransmit clock (the queue is kept — see [park_dead]).  Channels
+   with nothing outstanding are parked too, so traffic initiated after the
+   verdict queues instead of timing out one [max_retries] round at a time. *)
+let on_peer_death t ~node =
+  match t.flaky with
+  | None -> ()
+  | Some st ->
+      for src = 0 to st.nnodes - 1 do
+        if src <> node then
+          match st.senders.((src * st.nnodes) + node) with
+          | Some ch when not ch.parked ->
+              ch.parked <- true;
+              ch.timer_armed <- false;
+              ch.timer_gen <- ch.timer_gen + 1;
+              ch.retries <- 0
+          | _ -> ()
+      done
+
+(* Called when a dead node's heartbeats resume: unpark both directions —
+   survivors' channels toward the rejoined node, and the rejoined node's
+   own channels (parked when its timers found their source crashed).  Held
+   queues are replayed immediately; the replays count under
+   [reliable.rejoin_retransmits], never against the watchdog's
+   [reliable.retransmits] budget. *)
+let on_peer_alive t ~node =
+  match t.flaky with
+  | None -> ()
+  | Some st ->
+      let revive ch =
+        if ch.parked then begin
+          ch.parked <- false;
+          ch.retries <- 0;
+          ch.rto <- st.base_rto;
+          if not (Queue.is_empty ch.unacked) then begin
+            let now = Engine.now st.engine in
+            Queue.iter
+              (fun m ->
+                Stats.Counter.incr st.c_rejoin_retransmits;
+                Message.Pool.retain m;
+                Faults.send st.faults ~at:now m)
+              ch.unacked;
+            arm_retx st ch
+          end
+        end
+      in
+      for other = 0 to st.nnodes - 1 do
+        if other <> node then begin
+          (match st.senders.((other * st.nnodes) + node) with
+          | Some ch -> revive ch
+          | None -> ());
+          match st.senders.((node * st.nnodes) + other) with
+          | Some ch -> revive ch
+          | None -> ()
+        end
+      done
+
+(* Rewrite the handler id of every held message touching [node] — unacked
+   queues in both directions plus reassembly-table residents — to [handler]
+   (a recovery-registered no-op).  Sequence numbers are untouched, so the
+   receiver's per-pair ordering stays intact when the queues are replayed
+   after a rejoin: the stale protocol payloads are neutralized without
+   tearing a hole in the sequence space.  Transport-internal unsequenced
+   messages (acks, heartbeats; negative handler ids) are left alone.
+   Returns the number of messages scrubbed. *)
+let scrub_unacked t ~node ~handler =
+  match t.flaky with
+  | None -> 0
+  | Some st ->
+      if handler < 0 then invalid_arg "Reliable.scrub_unacked: bad handler";
+      let n = ref 0 in
+      let scrub m =
+        if m.Message.handler >= 0 && m.Message.handler <> handler then begin
+          m.Message.handler <- handler;
+          incr n
+        end
+      in
+      let scrub_chan = function
+        | Some ch -> Queue.iter scrub ch.unacked
+        | None -> ()
+      in
+      let scrub_ooo = function
+        | Some rc -> Hashtbl.iter (fun _ m -> scrub m) rc.ooo
+        | None -> ()
+      in
+      for other = 0 to st.nnodes - 1 do
+        if other <> node then begin
+          scrub_chan st.senders.((other * st.nnodes) + node);
+          scrub_chan st.senders.((node * st.nnodes) + other);
+          scrub_ooo st.rstates.((other * st.nnodes) + node);
+          scrub_ooo st.rstates.((node * st.nnodes) + other)
+        end
+      done;
+      !n
+
+let nodes t = Fabric.nodes t.fabric
+
+let latency t = Fabric.latency t.fabric
 
 let stats t = t.counters
 

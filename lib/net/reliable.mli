@@ -30,6 +30,18 @@ type policy = Perfect | Flaky of Faults.config
 exception Link_failed of string
 (** A channel exhausted its retry budget with no ack progress. *)
 
+exception Peer_dead of string
+(** The liveness protocol ({!set_liveness}) declared the destination dead
+    and no recovery layer is listening ({!set_death_notice} unset): the
+    prompt, diagnosed notification that replaces a full retransmission
+    storm.  With a recovery layer installed the channel parks instead. *)
+
+val liveness_handler : int
+(** Reserved transport handler id ([-2], next to the ack handler's [-1])
+    for out-of-band liveness heartbeats: unsequenced, consumed inside the
+    transport ({!set_liveness_receiver}), never delivered to the
+    application receiver — the liveness protocol's own logical channel. *)
+
 type t
 
 val create :
@@ -53,9 +65,60 @@ val set_receiver : t -> node:int -> (Message.t -> unit) -> unit
 (** Drop-in replacement for {!Fabric.set_receiver}; under [Flaky] the
     callback sees exactly-once, per-pair in-order messages. *)
 
+val send_oob : t -> at:int -> Message.t -> unit
+(** Out-of-band send for liveness heartbeats: unsequenced, unacked, never
+    retransmitted, and exempt from the fault model's PRNG
+    ({!Faults.send_oob}) — but still swallowed when the source is inside a
+    crash-stop window.  Under [Perfect] it is a plain {!Fabric.send}. *)
+
+val set_liveness : t -> is_dead:(int -> bool) -> unit
+(** Install the user-level liveness verdict.  Retransmit timers and new
+    sends consult it: a channel whose destination is declared dead parks
+    (keeping its unacked queue) instead of burning retries — converting a
+    retransmission storm into either a {!Peer_dead} raise or a
+    {!set_death_notice} callback.  Flaky only. *)
+
+val set_death_notice : t -> (src:int -> dst:int -> unit) option -> unit
+(** When set, a dead-peer encounter parks the channel and invokes the
+    callback instead of raising {!Peer_dead} — the hook the recovery layer
+    uses to take over.  Flaky only. *)
+
+val set_liveness_receiver : t -> (Message.t -> unit) -> unit
+(** Consumer for arriving {!liveness_handler} messages (the transport
+    releases each message after the callback returns).  Flaky only. *)
+
+val on_peer_death : t -> node:int -> unit
+(** Park every channel toward [node] now (verdict notification): cancel
+    retransmit timers, keep unacked queues for a possible rejoin.  No-op
+    under [Perfect]. *)
+
+val on_peer_alive : t -> node:int -> unit
+(** Revive channels in both directions after [node]'s heartbeats resume:
+    reset backoff and replay held queues.  Replays count as
+    [reliable.rejoin_retransmits], never against the watchdog's
+    [reliable.retransmits] budget.  No-op under [Perfect]. *)
+
+val scrub_unacked : t -> node:int -> handler:int -> int
+(** Neutralize every held message touching [node]: rewrite the handler id
+    of unacked-queue and reassembly-table residents in both directions to
+    [handler] (a recovery-registered no-op), preserving sequence numbers so
+    replayed queues keep per-pair ordering intact.  Called by the recovery
+    layer at the death verdict (survivors' queues toward the victim hold
+    stale grants and invalidations) and again at rejoin (the victim's own
+    held queues hold pre-crash-era requests and data).  Returns the number
+    of messages scrubbed; [0] under [Perfect].
+    @raise Invalid_argument for a negative (transport-internal) handler. *)
+
+val nodes : t -> int
+(** Fabric size (node count). *)
+
+val latency : t -> int
+(** The wrapped fabric's hop latency (cycles). *)
+
 val stats : t -> Tt_util.Stats.t
 (** Counters (Flaky only): [reliable.data_sent], [reliable.retransmits],
-    [reliable.acks_sent], [reliable.dup_dropped], [reliable.window_drops]. *)
+    [reliable.acks_sent], [reliable.dup_dropped], [reliable.window_drops],
+    [reliable.rejoin_retransmits]. *)
 
 val fault_stats : t -> Tt_util.Stats.t option
 (** The wrapped {!Faults} injector's counters (None under [Perfect]). *)

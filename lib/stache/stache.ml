@@ -112,6 +112,17 @@ type t = {
   mutable h_recall : int;
   mutable h_recall_data : int;
   mutable h_writeback : int;
+  mutable h_noop : int;
+  (* crash-stop recovery state: the liveness verdict consulted when
+     repairing directories, and the victim's own suspended CPUs collected
+     at the death verdict to be re-fired if the node rejoins *)
+  mutable is_dead : int -> bool;
+  mutable stranded : (int * Tempest.resumption) list;
+  c_rehomed : Stats.counter;
+  c_restored : Stats.counter;
+  c_repaired : Stats.counter;
+  c_reissued : Stats.counter;
+  c_stranded : Stats.counter;
 }
 
 let system t = t.sys
@@ -465,6 +476,14 @@ let on_writeback t (ep : Tempest.t) ~src ~args ~data =
   | Dir.Remote_excl _ | Dir.Idle | Dir.Shared -> ()
   end
 
+(* Recovery sink: the scrub ({!Tt_net.Reliable.scrub_unacked}) rewrites
+   held crash-era messages to this handler, so replayed queues keep their
+   sequence numbers but land harmlessly.  Data payloads are pooled blocks
+   and must go back to the pool. *)
+let on_noop _t (ep : Tempest.t) ~src:_ ~args:_ ~data =
+  ep.Tempest.charge 1;
+  if Bytes.length data = Addr.block_size then ep.Tempest.recycle_block data
+
 (* ------------------------------------------------------------------ *)
 (* Fault handlers                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -614,6 +633,14 @@ let install sys ?max_stache_pages () =
       next_home = 0;
       h_get = -1; h_data = -1; h_upgrade_ok = -1; h_inval = -1;
       h_inval_ack = -1; h_recall = -1; h_recall_data = -1; h_writeback = -1;
+      h_noop = -1;
+      is_dead = (fun _ -> false);
+      stranded = [];
+      c_rehomed = Stats.counter counters "recovery.pages_rehomed";
+      c_restored = Stats.counter counters "recovery.blocks_restored";
+      c_repaired = Stats.counter counters "recovery.txns_repaired";
+      c_reissued = Stats.counter counters "recovery.reissued";
+      c_stranded = Stats.counter counters "recovery.stranded_resumes";
     }
   in
   let tables = System.handlers sys in
@@ -626,6 +653,7 @@ let install sys ?max_stache_pages () =
   t.h_recall <- reg "stache.recall" on_recall;
   t.h_recall_data <- reg "stache.recall_data" on_recall_data;
   t.h_writeback <- reg "stache.writeback" on_writeback;
+  t.h_noop <- reg "stache.noop" on_noop;
   Tempest.Handlers.set_block_fault tables ~mode:mode_home (home_block_fault t);
   Tempest.Handlers.set_block_fault tables ~mode:mode_remote
     (remote_block_fault t);
@@ -782,6 +810,485 @@ let migrate_page t ~th ~node ~vpage ~new_home =
     Hashtbl.replace (node_state t old_home).local_homes vpage new_home;
     Hashtbl.remove (node_state t new_home).local_homes vpage
   end
+
+(* ------------------------------------------------------------------ *)
+(* Crash-stop recovery (re-homing and rejoin)                          *)
+(* ------------------------------------------------------------------ *)
+
+let set_is_dead t f = t.is_dead <- f
+
+let noop_handler t =
+  if t.h_noop < 0 then invalid_arg "Stache.noop_handler: not installed";
+  t.h_noop
+
+(* Checkpoint assist: the authoritative content of [vpage] as seen from
+   its home, or [None] when home memory cannot be trusted (a block is
+   dirty at a remote owner or mid-transaction).  The checkpoint layer
+   calls this at barriers; a [None] simply leaves the page's previous
+   snapshot stale, which the restore-validity bookkeeping already
+   handles.  Zero simulated cost: the checkpoint copy is modeled as
+   overlapped with the barrier. *)
+let snapshot_page t ~vpage =
+  match Hashtbl.find_opt t.registry vpage with
+  | None -> None
+  | Some home -> (
+      let mem = System.node_mem t.sys home in
+      match Tt_mem.Pagemem.find_page mem ~vpage with
+      | None -> None
+      | Some page -> (
+          match page.Tt_mem.Pagemem.user with
+          | Dir.Home_dir dir ->
+              let clean =
+                Array.for_all
+                  (fun bd ->
+                    bd.Dir.pending = None
+                    &&
+                    match bd.Dir.state with
+                    | Dir.Idle | Dir.Shared -> true
+                    | Dir.Remote_excl _ -> false)
+                  dir
+              in
+              if clean then Some (Bytes.copy page.Tt_mem.Pagemem.data)
+              else None
+          | _ -> None))
+
+(* Raw VM surgery used only by the recovery paths.  It mirrors the
+   endpoint's unmap but runs outside any charging context: the verdict
+   fires in a bare engine event, and recovery's metadata surgery is
+   modeled at zero simulated cost — the recovery daemon runs off the
+   critical path.  Protocol-visible actions (grants, re-issued requests,
+   resumption fires) still go through NP chores and pay normally. *)
+let raw_unmap t ~node ~vpage =
+  let mem = System.node_mem t.sys node in
+  if Tt_mem.Pagemem.is_mapped mem ~vpage then begin
+    Tt_mem.Pagemem.unmap mem ~vpage;
+    Tt_cache.Cache.flush_page (System.cpu_cache t.sys node) ~vpage;
+    Tt_mem.Tlb.flush_entry (System.cpu_tlb t.sys node) vpage;
+    Tt_mem.Tlb.flush_entry (Tt_typhoon.Np.rtlb (System.node_np t.sys node))
+      vpage
+  end
+
+(* Schedule protocol work on [node]'s NP, charged and serialized like any
+   other deferred NP work item. *)
+let post_chore t ~node f =
+  let np = System.node_np t.sys node in
+  let engine = System.engine t.sys in
+  Tt_typhoon.Np.post_deferred np
+    ~at:(max (Tt_sim.Engine.now engine) (Tt_typhoon.Np.clock np))
+    f
+
+(* Complete a recall transaction whose recall_data will never arrive (the
+   recalled owner died; home memory has been restored from a checkpoint).
+   This is [on_recall_data]'s pending branch minus the former owner's
+   bookkeeping — the former owner has no copy at all now. *)
+let complete_dead_recall t (ep : Tempest.t) ~vaddr (bd : Dir.block_dir) =
+  match bd.Dir.pending with
+  | None -> ()
+  | Some pending ->
+      bd.Dir.pending <- None;
+      (match pending.Dir.client with
+      | Dir.Remote (r, `Ro) ->
+          Sharers.clear bd.Dir.sharers;
+          Sharers.add bd.Dir.sharers r;
+          bd.Dir.state <- Dir.Shared;
+          ep.Tempest.set_ro ~vaddr;
+          ep.Tempest.downgrade ~vaddr;
+          send_data t ep ~vaddr ~dst:r ~rw:false
+      | Dir.Remote (r, (`Rw | `Up)) ->
+          send_data t ep ~vaddr ~dst:r ~rw:true;
+          Sharers.clear bd.Dir.sharers;
+          bd.Dir.state <- Dir.Remote_excl r;
+          ep.Tempest.invalidate ~vaddr
+      | Dir.Home (res, Tag.Load) ->
+          Sharers.clear bd.Dir.sharers;
+          bd.Dir.state <- Dir.Shared;
+          ep.Tempest.set_ro ~vaddr;
+          ep.Tempest.resume res
+      | Dir.Home (res, Tag.Store) ->
+          Sharers.clear bd.Dir.sharers;
+          bd.Dir.state <- Dir.Idle;
+          ep.Tempest.set_rw ~vaddr;
+          ep.Tempest.resume res);
+      drain_waiters t ep ~vaddr bd
+
+(* Re-home every page whose home died and repair every surviving
+   directory that references the victim.  Runs synchronously inside the
+   liveness verdict; by the lease arithmetic (lease >> max in-flight
+   delay) all pre-crash traffic has already resolved, so the survivors'
+   tags and directories are quiescent with respect to the victim — the
+   only loose ends are transactions waiting forever on it.
+
+   [restore ~vpage] must return the page's last checkpoint image only if
+   no write has dirtied the page since that checkpoint was taken;
+   otherwise [None], which makes the loss unrecoverable in place
+   ({!Tt_net.Faults.Unrecoverable}) and forces a rollback upstream. *)
+let on_node_death t ~dead ~new_home ~restore =
+  let nnodes = System.nnodes t.sys in
+  if dead < 0 || dead >= nnodes then
+    invalid_arg "Stache.on_node_death: bad victim";
+  if new_home = dead || new_home < 0 || new_home >= nnodes
+     || t.is_dead new_home
+  then invalid_arg "Stache.on_node_death: bad new home";
+  let live n = n <> dead && not (t.is_dead n) in
+  let dead_mem = System.node_mem t.sys dead in
+  let unrecoverable fmt =
+    Printf.ksprintf
+      (fun s -> raise (Tt_net.Faults.Unrecoverable ("stache recovery: " ^ s)))
+      fmt
+  in
+  (* checkpoint lookups, memoized so each page is fetched at most once *)
+  let snapshots = Hashtbl.create 8 in
+  let restore_block ~vpage ~vaddr ~into_mem ~why =
+    let snap =
+      match Hashtbl.find_opt snapshots vpage with
+      | Some s -> s
+      | None ->
+          let s = restore ~vpage in
+          Hashtbl.replace snapshots vpage s;
+          s
+    in
+    match snap with
+    | None ->
+        unrecoverable
+          "block 0x%x: %s and no clean checkpoint covers page 0x%x" vaddr why
+          vpage
+    | Some bytes ->
+        let off = vaddr - (vpage * Addr.page_size) in
+        Tt_mem.Pagemem.write_block_from into_mem ~vaddr ~src:bytes
+          ~src_pos:off;
+        Stats.Counter.incr t.c_restored
+  in
+  (* a deterministic, sorted view of the mapping table *)
+  let all_pages =
+    List.sort compare
+      (Hashtbl.fold (fun vpage home acc -> (vpage, home) :: acc) t.registry [])
+  in
+  let dead_pages =
+    List.filter_map
+      (fun (vpage, home) -> if home = dead then Some vpage else None)
+      all_pages
+  in
+  let rehomed = Hashtbl.create 16 in
+  List.iter (fun vpage -> Hashtbl.replace rehomed vpage ()) dead_pages;
+
+  (* --- Phase A: neutralize the victim ------------------------------- *)
+  (* Every copy it holds is gone as far as survivors are concerned.  Its
+     local bookkeeping (pending_remote, suspended CPUs in its own
+     directories) is kept only for the victim's own rejoin — it is never
+     read to reconstruct survivor state. *)
+  let victim_pages = ref [] in
+  Tt_mem.Pagemem.iter_pages dead_mem (fun vpage page ->
+      victim_pages := (vpage, page) :: !victim_pages);
+  List.iter
+    (fun (vpage, page) ->
+      (match page.Tt_mem.Pagemem.user with
+      | Dir.Home_dir dir when page.Tt_mem.Pagemem.mode = mode_home ->
+          (* the victim's own CPUs suspended inside its directories: stash
+             their resumptions for a possible rejoin *)
+          Array.iter
+            (fun bd ->
+              (match bd.Dir.pending with
+              | Some { Dir.client = Dir.Home (res, _); _ } ->
+                  t.stranded <- (dead, res) :: t.stranded;
+                  Stats.Counter.incr t.c_stranded
+              | Some _ | None -> ());
+              Queue.iter
+                (function
+                  | Dir.Home (res, _) ->
+                      t.stranded <- (dead, res) :: t.stranded;
+                      Stats.Counter.incr t.c_stranded
+                  | Dir.Remote _ -> ())
+                bd.Dir.waiters;
+              Queue.clear bd.Dir.waiters;
+              bd.Dir.pending <- None)
+            dir
+      | _ -> ());
+      Tt_mem.Pagemem.set_all_tags page Tag.Invalid;
+      Tt_cache.Cache.flush_page (System.cpu_cache t.sys dead) ~vpage)
+    (List.sort (fun (a, _) (b, _) -> compare a b) !victim_pages);
+
+  (* --- Phase B: re-home the victim's pages -------------------------- *)
+  let new_mem = System.node_mem t.sys new_home in
+  List.iter
+    (fun vpage ->
+      let old_page = Tt_mem.Pagemem.get_page dead_mem ~vpage in
+      (* the victim's directory dies with it; reconstruction below uses
+         only the survivors' tags — the honest user-level equivalent of
+         polling every live node for its copies *)
+      let captured =
+        (* the new home may hold a stached copy: capture its content and
+           tags, then raw-drop the mapping so the page can be re-created
+           as a home page *)
+        if Tt_mem.Pagemem.is_mapped new_mem ~vpage then begin
+          let p = Tt_mem.Pagemem.get_page new_mem ~vpage in
+          let tags =
+            Array.init Addr.blocks_per_page (fun index ->
+                Tt_mem.Pagemem.get_tag new_mem
+                  ~vaddr:(Addr.block_addr ~page:vpage ~index))
+          in
+          let data = Bytes.copy p.Tt_mem.Pagemem.data in
+          raw_unmap t ~node:new_home ~vpage;
+          Some (tags, data)
+        end
+        else None
+      in
+      let new_page =
+        Tt_mem.Pagemem.map new_mem ~vpage ~home:new_home ~mode:mode_home
+          ~init_tag:Tag.Invalid
+      in
+      let new_dir = Dir.create_page_dir ~nodes:nnodes in
+      for index = 0 to Addr.blocks_per_page - 1 do
+        let vaddr = Addr.block_addr ~page:vpage ~index in
+        let bd = new_dir.(index) in
+        let cap_tag =
+          match captured with
+          | Some (tags, _) -> tags.(index)
+          | None -> Tag.Invalid
+        in
+        let blit_captured () =
+          match captured with
+          | Some (_, data) ->
+              Bytes.blit data (index * Addr.block_size)
+                new_page.Tt_mem.Pagemem.data (index * Addr.block_size)
+                Addr.block_size
+          | None -> assert false
+        in
+        (* survivors' copies of this block, excluding the new home *)
+        let owner = ref None and ros = ref [] in
+        for n = nnodes - 1 downto 0 do
+          if live n && n <> new_home then begin
+            let mem = System.node_mem t.sys n in
+            if Tt_mem.Pagemem.is_mapped mem ~vpage then
+              match Tt_mem.Pagemem.get_tag mem ~vaddr with
+              | Tag.Read_write -> owner := Some n
+              | Tag.Read_only -> ros := n :: !ros
+              | Tag.Invalid | Tag.Busy -> ()
+          end
+        done;
+        (match cap_tag, !owner with
+        | Tag.Read_write, _ ->
+            (* the new home itself held the modified copy: it simply
+               becomes the home copy *)
+            blit_captured ();
+            Tt_mem.Pagemem.set_tag new_mem ~vaddr Tag.Read_write;
+            bd.Dir.state <- Dir.Idle
+        | _, Some o ->
+            (* a survivor owns it exclusively: point the directory there;
+               the home copy stays Invalid until a recall or writeback *)
+            bd.Dir.state <- Dir.Remote_excl o
+        | Tag.Read_only, _ ->
+            blit_captured ();
+            Tt_mem.Pagemem.set_tag new_mem ~vaddr Tag.Read_only;
+            List.iter (Sharers.add bd.Dir.sharers) !ros;
+            bd.Dir.state <- Dir.Shared
+        | _, None when !ros <> [] ->
+            (* copy content from the lowest-ranked read-only holder *)
+            let src_mem = System.node_mem t.sys (List.hd !ros) in
+            Tt_mem.Pagemem.read_block_into src_mem ~vaddr
+              ~dst:new_page.Tt_mem.Pagemem.data
+              ~dst_pos:(index * Addr.block_size);
+            Tt_mem.Pagemem.set_tag new_mem ~vaddr Tag.Read_only;
+            List.iter (Sharers.add bd.Dir.sharers) !ros;
+            bd.Dir.state <- Dir.Shared
+        | _, None ->
+            (* no live copy anywhere: checkpoint or abort *)
+            restore_block ~vpage ~vaddr ~into_mem:new_mem
+              ~why:"the crashed home held the only copy";
+            Tt_mem.Pagemem.set_tag new_mem ~vaddr Tag.Read_write;
+            bd.Dir.state <- Dir.Idle)
+      done;
+      new_page.Tt_mem.Pagemem.user <- Dir.Home_dir new_dir;
+      (* re-point the world: the mapping table, every live node's local
+         home cache, and the victim's former home page (retyped as an
+         ordinary — dead — stached copy so its rejoin treats it like any
+         other invalidated page) *)
+      Hashtbl.replace t.registry vpage new_home;
+      for n = 0 to nnodes - 1 do
+        if n <> new_home && Hashtbl.mem (node_state t n).local_homes vpage
+        then Hashtbl.replace (node_state t n).local_homes vpage new_home
+      done;
+      Hashtbl.remove (node_state t new_home).local_homes vpage;
+      old_page.Tt_mem.Pagemem.mode <- mode_remote;
+      old_page.Tt_mem.Pagemem.home <- new_home;
+      old_page.Tt_mem.Pagemem.user <- Tt_mem.Pagemem.No_info;
+      Hashtbl.replace (node_state t dead).local_homes vpage new_home;
+      Queue.add vpage (node_state t dead).stache_fifo;
+      Stats.Counter.incr t.c_rehomed)
+    dead_pages;
+
+  (* --- Phase C: repair surviving directories ------------------------ *)
+  let noop_res = Tempest.make_resumption (fun () -> ()) in
+  List.iter
+    (fun (vpage, home) ->
+      if live home && not (Hashtbl.mem rehomed vpage) then begin
+        let hmem = System.node_mem t.sys home in
+        let page = Tt_mem.Pagemem.get_page hmem ~vpage in
+        if page.Tt_mem.Pagemem.mode = mode_home then
+          match page.Tt_mem.Pagemem.user with
+          | Dir.Home_dir dir ->
+              Array.iteri
+                (fun index bd ->
+                  let vaddr = Addr.block_addr ~page:vpage ~index in
+                  (* requests the dead node parked behind a transaction *)
+                  let keep = Queue.create () in
+                  Queue.iter
+                    (function
+                      | Dir.Remote (r, _) when r = dead ->
+                          Stats.Counter.incr t.c_repaired
+                      | c -> Queue.add c keep)
+                    bd.Dir.waiters;
+                  Queue.clear bd.Dir.waiters;
+                  Queue.transfer keep bd.Dir.waiters;
+                  match bd.Dir.pending with
+                  | None -> (
+                      Sharers.remove bd.Dir.sharers dead;
+                      match bd.Dir.state with
+                      | Dir.Remote_excl o when o = dead ->
+                          (* the crashed owner held the only copy *)
+                          restore_block ~vpage ~vaddr ~into_mem:hmem
+                            ~why:"the crashed owner held the only copy";
+                          bd.Dir.state <- Dir.Idle;
+                          Tt_mem.Pagemem.set_tag hmem ~vaddr Tag.Read_write;
+                          Stats.Counter.incr t.c_repaired
+                      | Dir.Remote_excl _ | Dir.Idle | Dir.Shared -> ())
+                  | Some p ->
+                      let requester_was_dead =
+                        match p.Dir.client with
+                        | Dir.Remote (r, _) -> r = dead
+                        | Dir.Home _ -> false
+                      in
+                      let p =
+                        if requester_was_dead then begin
+                          (* the requester died mid-transaction: finish the
+                             transaction as a home store, which reverts the
+                             block to home ownership and fires a no-op
+                             (the client field is immutable by design, so
+                             the rewrite builds a fresh pending record) *)
+                          let np =
+                            { Dir.client = Dir.Home (noop_res, Tag.Store);
+                              acks_left = p.Dir.acks_left;
+                              prev_owner = p.Dir.prev_owner }
+                          in
+                          bd.Dir.pending <- Some np;
+                          Stats.Counter.incr t.c_repaired;
+                          np
+                        end
+                        else p
+                      in
+                      (match p.Dir.prev_owner with
+                      | Some o when o = dead ->
+                          (* the recalled owner died with the only
+                             up-to-date copy: restore the home copy, then
+                             complete as if recall_data had arrived *)
+                          restore_block ~vpage ~vaddr ~into_mem:hmem
+                            ~why:"the recalled owner died holding the \
+                                  modified copy";
+                          p.Dir.prev_owner <- None;
+                          Stats.Counter.incr t.c_repaired;
+                          post_chore t ~node:home (fun () ->
+                              let ep = System.endpoint t.sys home in
+                              complete_dead_recall t ep ~vaddr bd)
+                      | Some _ | None ->
+                          (* the dead node may owe an invalidation ack:
+                             inval targets are exactly the sharers minus
+                             the requester *)
+                          if Sharers.mem bd.Dir.sharers dead then begin
+                            Sharers.remove bd.Dir.sharers dead;
+                            if not requester_was_dead then begin
+                              p.Dir.acks_left <- p.Dir.acks_left - 1;
+                              Stats.Counter.incr t.c_repaired;
+                              if p.Dir.acks_left = 0 then begin
+                                Sharers.clear bd.Dir.sharers;
+                                post_chore t ~node:home (fun () ->
+                                    let ep = System.endpoint t.sys home in
+                                    if bd.Dir.pending <> None then
+                                      finish_pending t ep ~vaddr bd)
+                              end
+                            end
+                          end))
+                dir
+          | _ -> ()
+      end)
+    all_pages;
+
+  (* --- Phase D: re-issue survivors' requests to re-homed pages ------ *)
+  (* A request (or its response) to the old home died with it.  The
+     pending_remote resumption is the suspended CPU's retry continuation:
+     firing it re-attempts the access against the current tags, which
+     faults cleanly through to the new home. *)
+  for n = 0 to nnodes - 1 do
+    if live n then begin
+      let ns = node_state t n in
+      let mem = System.node_mem t.sys n in
+      let entries =
+        List.sort
+          (fun (a, _) (b, _) -> compare a b)
+          (Hashtbl.fold
+             (fun vaddr p acc -> (vaddr, p) :: acc)
+             ns.pending_remote [])
+      in
+      List.iter
+        (fun (vaddr, p) ->
+          let vpage = Addr.page_of vaddr in
+          if Hashtbl.mem rehomed vpage then begin
+            Hashtbl.remove ns.pending_remote vaddr;
+            if
+              Tt_mem.Pagemem.is_mapped mem ~vpage
+              && (Tt_mem.Pagemem.get_page mem ~vpage).Tt_mem.Pagemem.mode
+                 = mode_remote
+            then Tt_mem.Pagemem.set_tag mem ~vaddr Tag.Invalid;
+            match p with
+            | Some res ->
+                Stats.Counter.incr t.c_reissued;
+                post_chore t ~node:n (fun () ->
+                    let ep = System.endpoint t.sys n in
+                    ep.Tempest.resume res)
+            | None -> () (* nonbinding prefetch: simply dropped *)
+          end)
+        entries
+    end
+  done
+
+(* A crashed node resumed heartbeating: its memory survives but every
+   copy was invalidated at the death verdict, and any pre-crash request
+   it had outstanding was either never sent, scrubbed in a parked queue,
+   or answered with a response that was scrubbed.  Drop the stale
+   bookkeeping and re-fire the suspended CPUs — each retry re-faults
+   cleanly against the current (possibly re-homed) mapping. *)
+let on_node_rejoin t ~node =
+  let ns = node_state t node in
+  let mem = System.node_mem t.sys node in
+  let entries =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun vaddr p acc -> (vaddr, p) :: acc) ns.pending_remote [])
+  in
+  Hashtbl.reset ns.pending_remote;
+  List.iter
+    (fun (vaddr, p) ->
+      (if Tt_mem.Pagemem.is_mapped mem ~vpage:(Addr.page_of vaddr) then
+         match Tt_mem.Pagemem.get_tag mem ~vaddr with
+         | Tag.Busy -> Tt_mem.Pagemem.set_tag mem ~vaddr Tag.Invalid
+         | Tag.Read_write | Tag.Read_only | Tag.Invalid -> ());
+      match p with
+      | Some res ->
+          Stats.Counter.incr t.c_reissued;
+          post_chore t ~node (fun () ->
+              let ep = System.endpoint t.sys node in
+              ep.Tempest.resume res)
+      | None -> ())
+    entries;
+  (* CPUs that were suspended inside the victim's own (now re-homed)
+     directories when it died *)
+  let mine, others = List.partition (fun (n, _) -> n = node) t.stranded in
+  t.stranded <- others;
+  List.iter
+    (fun (_, res) ->
+      Stats.Counter.incr t.c_reissued;
+      post_chore t ~node (fun () ->
+          let ep = System.endpoint t.sys node in
+          ep.Tempest.resume res))
+    (List.rev mine)
 
 (* ------------------------------------------------------------------ *)
 (* Invariant checking                                                  *)

@@ -69,7 +69,65 @@ val migrate_page :
 
 val stats : t -> Tt_util.Stats.t
 (** Protocol event counters: [get_ro], [get_rw], [upgrade], [inval],
-    [recall], [writeback], [page_replacements], [home_faults]. *)
+    [recall], [writeback], [page_replacements], [home_faults]; recovery
+    adds [recovery.pages_rehomed], [recovery.blocks_restored],
+    [recovery.txns_repaired], [recovery.reissued],
+    [recovery.stranded_resumes]. *)
+
+(** {2 Crash-stop recovery}
+
+    User-level recovery from crash-stop node failures
+    ({!Tt_net.Faults.crash}): when the liveness protocol
+    ({!Tt_net.Liveness}) confirms a death, the recovery layer
+    ({!Tt_harness.Recovery}) calls {!on_node_death} to re-home the
+    victim's pages and repair surviving directories, and {!on_node_rejoin}
+    if the victim later resumes heartbeating.  Both run synchronously at
+    the verdict — the recovery daemon is modeled off the critical path —
+    but every protocol-visible action (re-issued requests, grants,
+    resumption fires) is scheduled as charged NP work. *)
+
+val set_is_dead : t -> (int -> bool) -> unit
+(** Install the liveness verdict consulted by the repair passes (which
+    nodes count as live when electing copy sources and purging sharers).
+    Default: everyone is alive. *)
+
+val noop_handler : t -> int
+(** Handler id of the registered recovery no-op sink ([stache.noop]) —
+    the rewrite target for {!Tt_net.Reliable.scrub_unacked}.  It charges
+    one NP instruction and recycles pooled data payloads.
+    @raise Invalid_argument before {!install}. *)
+
+val snapshot_page : t -> vpage:int -> Bytes.t option
+(** Checkpoint assist: a copy of [vpage]'s authoritative content, read
+    from its home, or [None] when home memory is stale (some block is
+    remotely owned or mid-transaction) or the page is unallocated.  The
+    checkpoint layer ({!Tt_harness.Recovery}) calls this at barriers;
+    zero simulated cost — the copy is modeled as overlapped with the
+    barrier. *)
+
+val on_node_death :
+  t -> dead:int -> new_home:int -> restore:(vpage:int -> Bytes.t option) ->
+  unit
+(** Repair the protocol after [dead]'s confirmed crash.  Pages homed on
+    the victim are re-homed to [new_home] (deterministically the lowest
+    live rank, chosen by the caller): the new directory is reconstructed
+    from the survivors' block tags, block content comes from the new
+    home's own stached copy, a surviving read-only holder, or — when the
+    victim held the only copy — [restore ~vpage], the caller's checkpoint
+    lookup, which must return [None] unless the page is provably clean
+    since its last snapshot.  Surviving directories are purged of the
+    victim (sharer entries, owed acks, recalled-owner and dead-requester
+    transactions), and survivors' requests lost with the old home are
+    re-issued by firing their retry resumptions.
+    @raise Tt_net.Faults.Unrecoverable when a lost dirty copy has no
+    clean checkpoint — the caller must roll back. *)
+
+val on_node_rejoin : t -> node:int -> unit
+(** The victim resumed heartbeating: drop its stale crash-era
+    bookkeeping (outstanding-request table, Busy tags) and re-fire its
+    suspended CPUs; every retry re-faults cleanly against the current,
+    possibly re-homed, mapping.  Call after the transport scrub and
+    replay ({!Tt_net.Reliable.on_peer_alive}). *)
 
 val check_invariants : t -> (unit, string) result
 (** Directory/tag consistency at a quiescent point: no pending

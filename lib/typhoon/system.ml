@@ -84,6 +84,11 @@ type t = {
   mutable bulk_token : int;
   bulk_completions : (int, unit -> unit) Hashtbl.t;
   mutable bulk_handler_id : int;
+  (* write observer for the recovery layer's checkpoint dirty tracking:
+     fired on every CPU store ([forced:false]) and every NP forced write
+     ([forced:true]).  Pure bookkeeping — it charges no simulated cycles,
+     so installing it never perturbs timing. *)
+  mutable on_dirty : (node:int -> vpage:int -> forced:bool -> unit) option;
 }
 
 let engine t = t.engine
@@ -298,6 +303,9 @@ let make_endpoint t node =
         (* the block-transfer buffer keeps the CPU cache coherent (§5.1):
            a forced write invalidates any stale CPU-cached copy *)
         ignore (Cache.invalidate node.cache ~block:(Addr.block_of vaddr));
+        (match t.on_dirty with
+        | Some f -> f ~node:node.id ~vpage:(Addr.page_of vaddr) ~forced:true
+        | None -> ());
         Pagemem.write_block node.mem ~vaddr data);
     recycle_block =
       (fun b ->
@@ -314,6 +322,9 @@ let make_endpoint t node =
         rtlb_access node vaddr;
         charge node Costs.force_word;
         ignore (Cache.invalidate node.cache ~block:(Addr.block_of vaddr));
+        (match t.on_dirty with
+        | Some f -> f ~node:node.id ~vpage:(Addr.page_of vaddr) ~forced:true
+        | None -> ());
         Pagemem.write_i64 node.mem ~vaddr v);
     force_read_f64 =
       (fun ~vaddr ->
@@ -325,6 +336,9 @@ let make_endpoint t node =
         rtlb_access node vaddr;
         charge node Costs.force_word;
         ignore (Cache.invalidate node.cache ~block:(Addr.block_of vaddr));
+        (match t.on_dirty with
+        | Some f -> f ~node:node.id ~vpage:(Addr.page_of vaddr) ~forced:true
+        | None -> ());
         Pagemem.write_f64 node.mem ~vaddr v);
     resume =
       (fun r ->
@@ -463,7 +477,8 @@ let create ?(reliability = Reliable.Perfect) engine (p : Params.t) =
   in
   let t =
     { engine; params = p; fabric; net; flow; tables; nodes; bulk_token = 0;
-      bulk_completions = Hashtbl.create 16; bulk_handler_id = -1 }
+      bulk_completions = Hashtbl.create 16; bulk_handler_id = -1;
+      on_dirty = None }
   in
   Array.iter
     (fun node ->
@@ -624,6 +639,9 @@ let cpu_read_f64 t ~node th vaddr =
 
 let cpu_write_f64 t ~node th vaddr v =
   cpu_access t ~node th Tag.Store vaddr;
+  (match t.on_dirty with
+  | Some f -> f ~node ~vpage:(Addr.page_of vaddr) ~forced:false
+  | None -> ());
   Pagemem.write_f64 (node_of t node).mem ~vaddr v
 
 let cpu_read_int t ~node th vaddr =
@@ -632,6 +650,9 @@ let cpu_read_int t ~node th vaddr =
 
 let cpu_write_int t ~node th vaddr v =
   cpu_access t ~node th Tag.Store vaddr;
+  (match t.on_dirty with
+  | Some f -> f ~node ~vpage:(Addr.page_of vaddr) ~forced:false
+  | None -> ());
   Pagemem.write_int (node_of t node).mem ~vaddr v
 
 let merged_stats t =
@@ -652,6 +673,8 @@ let merged_stats t =
 (* ------------------------------------------------------------------ *)
 
 let flow t = t.flow
+
+let set_on_dirty t f = t.on_dirty <- f
 
 (* Total work items executed across all NPs: the machine's delivery
    progress metric.  Any live computation keeps increasing it, so a

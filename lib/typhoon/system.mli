@@ -47,6 +47,15 @@ val node_stats : t -> int -> Tt_util.Stats.t
 (** Counters: [block_faults], [page_faults], [upgrades], [local_misses],
     [accesses]. *)
 
+val set_on_dirty :
+  t -> (node:int -> vpage:int -> forced:bool -> unit) option -> unit
+(** Install a write observer for checkpoint dirty tracking: fired on every
+    successful CPU store ([forced:false], the writing node's own copy) and
+    every NP forced write ([forced:true] — writebacks, data installs,
+    custom-protocol updates; the observer can filter on the written page's
+    mode).  Pure bookkeeping: charges no simulated cycles, so installing it
+    never changes any run's timing. *)
+
 val merged_stats : t -> Tt_util.Stats.t
 (** All node counters plus network traffic (and, when flow control is on,
     the [flow.*] counters), merged. *)

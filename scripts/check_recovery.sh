@@ -1,0 +1,47 @@
+#!/bin/sh
+# Equivalence and correctness gate for crash-stop recovery.
+#
+# Three checks:
+#
+# 1. The full build + test suite runs twice — recovery support enabled
+#    (default), then with TT_RECOVERY=0 (crash schedules ignored at
+#    Faults.create, so the crash-stop failure model might as well not
+#    exist) — so the pinned simulated-cycle regression rows in
+#    test_regression.ml and every other suite are checked under both
+#    configurations.  Crash injection consumes no main-stream PRNG draws
+#    and no cycles when nobody crashes: any divergence fails a pinned row.
+#
+# 2. The recover grid itself must be deterministic: two sweeps of the
+#    same seed must print byte-identical tables.
+#
+# 3. Under TT_RECOVERY=0 the recover command must report the kill switch
+#    rather than silently sweeping nothing.
+#
+# The bench harness enforces the timing half in-process
+# (recovery_timing_parity in bench/main.ml).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== recovery enabled =="
+dune build
+dune runtest --force
+
+echo "== recovery disabled (TT_RECOVERY=0) =="
+TT_RECOVERY=0 dune runtest --force
+
+echo "== recover grid determinism =="
+out1=$(dune exec bin/tt.exe -- recover --apps ocean --victims 3)
+out2=$(dune exec bin/tt.exe -- recover --apps ocean --victims 3)
+if [ "$out1" != "$out2" ]; then
+  echo "FATAL: two identical recover sweeps printed different tables" >&2
+  exit 1
+fi
+
+echo "== recover respects the kill switch =="
+TT_RECOVERY=0 dune exec bin/tt.exe -- recover --apps ocean --victims 3 \
+  | grep -q "TT_RECOVERY=0" || {
+  echo "FATAL: recover under TT_RECOVERY=0 did not report the kill switch" >&2
+  exit 1
+}
+
+echo "recovery parity: both suite runs green, grid deterministic"

@@ -512,6 +512,169 @@ let test_reliable_perfect_passthrough () =
   check_int "no transport traffic" 0
     (Stats.get (Reliable.stats r) "reliable.data_sent")
 
+(* ---------------- crash-stop failures ---------------- *)
+
+(* Tests that inject crash windows must hold the recovery switch on for
+   their duration: the suite also runs under TT_RECOVERY=0 (see
+   scripts/check_recovery.sh), where [Faults.create] would otherwise
+   ignore the schedule and the window under test would never open. *)
+let with_recovery_on f () =
+  let prior = Faults.recovery_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Faults.set_recovery prior)
+    (fun () ->
+      Faults.set_recovery true;
+      f ())
+
+let test_bidirectional_link_failed () =
+  (* both directions of a pair exhaust their retry budgets against a 100%
+     lossy fabric at the same time: the escalation must still be a single
+     deterministic Link_failed naming one link, not a race *)
+  let failure () =
+    let e, r = mk_reliable ~drop:1.0 ~max_retries:3 () in
+    Reliable.set_receiver r ~node:1 (fun _ -> ());
+    Reliable.set_receiver r ~node:0 (fun _ -> ());
+    Reliable.send r ~at:0 (msg ~src:0 ~dst:1 ());
+    Reliable.send r ~at:0 (msg ~src:1 ~dst:0 ());
+    match Engine.run e with
+    | () -> Alcotest.fail "two dead links must escalate"
+    | exception Reliable.Link_failed m -> m
+  in
+  let first = failure () in
+  Alcotest.(check string) "deterministic loser" first (failure ());
+  check_bool "names a link" true (contains first "->")
+
+let test_dead_peer_parks_without_retransmits () =
+  (* satellite guarantee: once the liveness verdict says the destination
+     is dead, retransmissions toward it stop counting against the
+     watchdog's budget — the channel parks, the death notice fires, and
+     the held queue replays only at the revival verdict (counted under
+     rejoin_retransmits instead) *)
+  let e, r, fl = mk_reliable_tuned ~base_rto:100 () in
+  let dead = ref true in
+  Reliable.set_liveness r ~is_dead:(fun n -> !dead && n = 1);
+  let notices = ref [] in
+  Reliable.set_death_notice r
+    (Some (fun ~src ~dst -> notices := (src, dst) :: !notices));
+  Faults.set_tap fl
+    (Some
+       (fun ~site:_ d ->
+         if !dead then { d with Faults.dropped = true } else d));
+  let got = ref 0 in
+  Reliable.set_receiver r ~node:1 (fun _ -> incr got);
+  Reliable.set_receiver r ~node:0 (fun _ -> ());
+  Reliable.send r ~at:0 (msg ());
+  Engine.at e 5_000 (fun () ->
+      dead := false;
+      Faults.set_tap fl None;
+      Reliable.on_peer_alive r ~node:1);
+  Engine.run e;
+  check_int "delivered after revival" 1 !got;
+  check_int "no budget-counted retransmits" 0 (Reliable.retransmits r);
+  check_bool "replay counted separately" true
+    (Stats.get (Reliable.stats r) "reliable.rejoin_retransmits" >= 1);
+  Alcotest.(check (list (pair int int))) "one death notice" [ (0, 1) ] !notices
+
+let test_peer_dead_raises_without_recovery () =
+  (* no recovery layer listening: the dead-peer encounter must escalate
+     promptly as Peer_dead, not grind through a retransmission storm *)
+  let e, r, _ = mk_reliable_tuned () in
+  Reliable.set_liveness r ~is_dead:(fun n -> n = 1);
+  Reliable.set_receiver r ~node:1 (fun _ -> ());
+  Reliable.set_receiver r ~node:0 (fun _ -> ());
+  match
+    Reliable.send r ~at:0 (msg ());
+    Engine.run e
+  with
+  | () -> Alcotest.fail "dead peer must escalate"
+  | exception Reliable.Peer_dead m ->
+      check_bool "names the peer" true (contains m "1");
+      check_int "promptly: no retransmission storm" 0 (Reliable.retransmits r)
+
+let test_crash_window_heals_after_rejoin () =
+  (* victim 1 is down for cycles [0, 2000): sends toward it are swallowed
+     at delivery, its own sends at the source; after the rejoin, ordinary
+     retransmission repairs both directions without any death verdict —
+     the sub-lease "masked outage" path *)
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:2 ~latency:11 () in
+  let cfg =
+    Faults.uniform ~seed:1
+      ~crashes:[ Faults.crash ~victim:1 ~at:0 ~rejoin:2_000 () ]
+      ()
+  in
+  let r = Reliable.create e f (Reliable.Flaky cfg) in
+  let got0 = ref 0 and got1 = ref 0 in
+  Reliable.set_receiver r ~node:0 (fun _ -> incr got0);
+  Reliable.set_receiver r ~node:1 (fun _ -> incr got1);
+  Reliable.send r ~at:100 (msg ~src:0 ~dst:1 ());
+  Reliable.send r ~at:100 (msg ~src:1 ~dst:0 ());
+  Engine.run e;
+  check_int "survivor's message reached the revived victim" 1 !got1;
+  check_int "the victim's own held queue replayed after rejoin" 1 !got0;
+  check_bool "the window swallowed traffic" true
+    (Stats.get (Option.get (Reliable.fault_stats r)) "faults.crash_dropped"
+    >= 1)
+
+let test_liveness_verdicts () =
+  (* lease/heartbeat detection over a crash window: one death verdict once
+     the victim has been silent past the lease, one revival verdict after
+     its heartbeats resume; the election picks the lowest live rank *)
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes:4 ~latency:11 () in
+  let cfg =
+    Faults.uniform ~seed:1
+      ~crashes:[ Faults.crash ~victim:2 ~at:500 ~rejoin:20_000 () ]
+      ()
+  in
+  let r = Reliable.create e f (Reliable.Flaky cfg) in
+  for n = 0 to 3 do
+    Reliable.set_receiver r ~node:n (fun _ -> ())
+  done;
+  let lv = Tt_net.Liveness.create e r in
+  let dead_seen = ref [] and alive_seen = ref [] in
+  Tt_net.Liveness.set_on_dead lv (fun n -> dead_seen := n :: !dead_seen);
+  Tt_net.Liveness.set_on_alive lv (fun n -> alive_seen := n :: !alive_seen);
+  (* period = 32 × latency = 352, lease = 4 periods = 1408 *)
+  ignore (Engine.run_until e ~limit:10_000);
+  check_bool "declared dead" true (Tt_net.Liveness.is_dead lv 2);
+  check_int "one death verdict" 1 (Tt_net.Liveness.deaths lv);
+  check_int "lowest live rank" 0 (Tt_net.Liveness.lowest_live lv);
+  ignore (Engine.run_until e ~limit:30_000);
+  check_bool "revived after heartbeats resumed" false
+    (Tt_net.Liveness.is_dead lv 2);
+  check_int "one revival verdict" 1 (Tt_net.Liveness.revivals lv);
+  Alcotest.(check (list int)) "death hook" [ 2 ] !dead_seen;
+  Alcotest.(check (list int)) "revival hook" [ 2 ] !alive_seen;
+  Tt_net.Liveness.stop lv
+
+let test_scrub_unacked_neutralizes () =
+  (* scrubbing rewrites held messages' handlers to the recovery no-op in
+     both directions while preserving sequence numbers, so a later replay
+     keeps per-pair ordering but delivers only no-ops *)
+  let e, r, fl = mk_reliable_tuned ~base_rto:100 () in
+  let dead = ref true in
+  Reliable.set_liveness r ~is_dead:(fun n -> !dead && n = 1);
+  Reliable.set_death_notice r (Some (fun ~src:_ ~dst:_ -> ()));
+  Faults.set_tap fl
+    (Some
+       (fun ~site:_ d ->
+         if !dead then { d with Faults.dropped = true } else d));
+  let got = ref [] in
+  Reliable.set_receiver r ~node:1 (fun m -> got := m.Message.handler :: !got);
+  Reliable.set_receiver r ~node:0 (fun _ -> ());
+  Reliable.send r ~at:0 (msg ~handler:7 ());
+  Reliable.send r ~at:0 (msg ~handler:8 ());
+  Engine.at e 5_000 (fun () ->
+      check_int "both held messages scrubbed" 2
+        (Reliable.scrub_unacked r ~node:1 ~handler:99);
+      dead := false;
+      Faults.set_tap fl None;
+      Reliable.on_peer_alive r ~node:1);
+  Engine.run e;
+  Alcotest.(check (list int))
+    "replay delivers the no-op, in order" [ 99; 99 ] (List.rev !got)
+
 let test_fabric_causality_clamp () =
   (* a send stamped in the past (sender clock lagging) still delivers at or
      after 'now' *)
@@ -576,5 +739,20 @@ let () =
             test_reliable_dup_of_retransmit;
           Alcotest.test_case "perfect pass-through" `Quick
             test_reliable_perfect_passthrough;
+        ] );
+      ( "crash-stop",
+        [
+          Alcotest.test_case "simultaneous bidirectional link failure" `Quick
+            test_bidirectional_link_failed;
+          Alcotest.test_case "dead peer parks without retransmits" `Quick
+            test_dead_peer_parks_without_retransmits;
+          Alcotest.test_case "Peer_dead without a recovery layer" `Quick
+            test_peer_dead_raises_without_recovery;
+          Alcotest.test_case "crash window heals after rejoin" `Quick
+            (with_recovery_on test_crash_window_heals_after_rejoin);
+          Alcotest.test_case "liveness verdicts" `Quick
+            (with_recovery_on test_liveness_verdicts);
+          Alcotest.test_case "scrub neutralizes held queues" `Quick
+            test_scrub_unacked_neutralizes;
         ] );
     ]
