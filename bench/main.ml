@@ -345,6 +345,45 @@ let pdes_parity () =
      per-partition logs on 1 and 4 domains)\n\n%!"
     seq.H.Pdes.total seq.H.Pdes.epochs
 
+(* The adaptive layer must be free when killed: with TT_ADAPT=0 the
+   observer still counts traffic but nothing ever switches, so a run on
+   the adaptive machine must cost bit-identical simulated cycles to the
+   plain zoo machine with every page left on the default invalidate
+   protocol (scripts/check_protocols.sh gates the full suite the same
+   way). *)
+let adaptive_parity () =
+  let cycles machine_of =
+    let params = { Params.default with Params.nodes = 8 } in
+    let inst =
+      H.Catalog.make ~name:"synthpc" ~size:H.Catalog.Small ~scale:0.25
+        ~nprocs:8
+    in
+    (H.Run.spmd (machine_of params) ~name:"synthpc" inst.H.Catalog.body)
+      .H.Run.cycles
+  in
+  let was = Sys.getenv_opt "TT_ADAPT" in
+  Unix.putenv "TT_ADAPT" "0";
+  let killed =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "TT_ADAPT" (Option.value was ~default:"1"))
+      (fun () -> cycles H.Machine.typhoon_adaptive)
+  in
+  let base =
+    cycles (H.Machine.typhoon_zoo ~policy:Tt_custom.Proto.Stachelike)
+  in
+  if killed <> base then begin
+    Printf.eprintf
+      "FATAL: TT_ADAPT=0 is not free: adaptive machine %d cycles, plain zoo \
+       machine %d\n"
+      killed base;
+    exit 1
+  end;
+  Printf.printf
+    "adaptive kill-switch parity: OK (synthpc %d cycles, identical with \
+     TT_ADAPT=0 and on the plain zoo machine)\n\n%!"
+    killed
+
 (* Wall-clock face of the same workload: the conservative windowed engine
    on one domain vs four.  Speedup only appears with >= 4 host cores; the
    interesting single-core number is the windowing overhead vs the
@@ -360,17 +399,44 @@ let bench_pdes_1 = bench_pdes 1
 let bench_pdes_4 = bench_pdes 4
 
 (* Figure 4's unit: a tiny EM3D run under the update protocol. *)
+let em3d_tiny_cfg =
+  { Tt_app.Em3d.total_nodes = 256; degree = 3; pct_remote = 30; iters = 1;
+    seed = 5;
+    software_prefetch = false }
+
 let bench_fig4 =
-  let cfg =
-    { Tt_app.Em3d.total_nodes = 256; degree = 3; pct_remote = 30; iters = 1;
-      seed = 5;
-      software_prefetch = false }
-  in
   Test.make ~name:"fig4_em3d_update_tiny"
     (Staged.stage (fun () ->
          let params = { Params.default with Params.nodes = 4 } in
          let machine = H.Machine.typhoon_em3d params in
-         let inst = Tt_app.Em3d.make cfg ~nprocs:4 in
+         let inst = Tt_app.Em3d.make em3d_tiny_cfg ~nprocs:4 in
+         ignore (H.Run.spmd machine ~name:"em3d" inst.Tt_app.Em3d.body)))
+
+(* Ablations: the protocol zoo.  The migratory synthetic under the generic
+   migratory protocol, and the Figure 4 EM3D unit under the zoo's generic
+   update protocol (widerep) — compare against fig4_em3d_update_tiny's
+   hand-written EM3D protocol for the cost of generality. *)
+let bench_ablation_protocol_migratory =
+  Test.make ~name:"ablation_protocol_migratory"
+    (Staged.stage (fun () ->
+         let params = { Params.default with Params.nodes = 4 } in
+         let machine =
+           H.Machine.typhoon_zoo ~policy:Tt_custom.Proto.Migratory params
+         in
+         let inst =
+           H.Catalog.make ~name:"synthmig" ~size:H.Catalog.Small ~scale:0.25
+             ~nprocs:4
+         in
+         ignore (H.Run.spmd machine ~name:"synthmig" inst.H.Catalog.body)))
+
+let bench_ablation_protocol_update =
+  Test.make ~name:"ablation_protocol_update"
+    (Staged.stage (fun () ->
+         let params = { Params.default with Params.nodes = 4 } in
+         let machine =
+           H.Machine.typhoon_zoo ~policy:Tt_custom.Proto.Widerep params
+         in
+         let inst = Tt_app.Em3d.make em3d_tiny_cfg ~nprocs:4 in
          ignore (H.Run.spmd machine ~name:"em3d" inst.Tt_app.Em3d.body)))
 
 (* Ablation: thread suspend/resume through the poll/continuation slot
@@ -512,7 +578,8 @@ let bench_ablation_event_queue_cal_uniform =
 let benchmarks =
   [ bench_table1; bench_table2; bench_table3; bench_fig3_stache;
     bench_fig3_dirnnb; bench_fig3_stache_reliable;
-    bench_ablation_message_pool; bench_fig4; bench_pdes_1; bench_pdes_4;
+    bench_ablation_message_pool; bench_fig4; bench_ablation_protocol_migratory;
+    bench_ablation_protocol_update; bench_pdes_1; bench_pdes_4;
     bench_ablation_effects; bench_ablation_effects_fast;
     bench_ablation_effects_slow;
     bench_ablation_sharers_pointers; bench_ablation_sharers_overflow;
@@ -569,6 +636,7 @@ let () =
   flowcontrol_timing_parity ();
   recovery_timing_parity ();
   pdes_parity ();
+  adaptive_parity ();
   if not fast then reproduce_figures ()
   else print_endline "(TT_BENCH_FAST=1: skipping figure reproduction)\n";
   ablation_summary ();

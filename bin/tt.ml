@@ -62,11 +62,33 @@ let note_parallel domains =
 
 (* --- tt run --- *)
 
+let proto_conv =
+  let parse s =
+    if List.mem s H.Catalog.protocols then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown protocol %S (valid: %s)" s
+             (String.concat ", " H.Catalog.protocols)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let proto_t =
+  Arg.(
+    value
+    & opt (some proto_conv) None
+    & info [ "proto" ] ~docv:"PROTO"
+        ~doc:
+          "Coherence protocol for the Typhoon machine: stache, migratory, \
+           prodcons, widerep, delayed or adaptive (overrides \
+           $(b,--machine)).")
+
 let run_cmd =
   let app_t =
     Arg.(
       required
-      & pos 0 (some (enum (List.map (fun n -> (n, n)) H.Catalog.names))) None
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) H.Catalog.all_names)))
+          None
       & info [] ~docv:"APP" ~doc:"Benchmark to run.")
   in
   let machine_t =
@@ -90,12 +112,16 @@ let run_cmd =
   let stats_t =
     Arg.(value & flag & info [ "stats" ] ~doc:"Dump all statistics counters.")
   in
-  let run app machine_name size cache_kb nodes scale seed verify stats =
+  let run app machine_name proto size cache_kb nodes scale seed verify stats =
     let params =
       { Params.default with Params.nodes; seed;
         cpu_cache_bytes = cache_kb * 1024 }
     in
-    let machine = make_machine machine_name params in
+    let machine_name, machine =
+      match proto with
+      | Some p -> (p, H.Catalog.machine_of_proto ~proto:p params)
+      | None -> (machine_name, make_machine machine_name params)
+    in
     let inst = H.Catalog.make ~name:app ~size ~scale ~nprocs:nodes in
     let r = H.Run.spmd machine ~name:app inst.H.Catalog.body in
     if verify then begin
@@ -123,14 +149,17 @@ let run_cmd =
          %d parked)\n"
         spilled blocked
         (Tt_util.Stats.get r.H.Run.run_stats "flow.peak_queued");
+    let switches = Tt_util.Stats.get r.H.Run.run_stats "switches" in
+    if switches > 0 then
+      Printf.printf "adaptive protocol switches: %d\n" switches;
     if stats then
       Format.printf "%a@." Tt_util.Stats.pp r.H.Run.run_stats
   in
   let doc = "Run one benchmark on one machine." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ app_t $ machine_t $ size_t $ cache_t $ nodes_t $ scale_t
-      $ seed_t $ verify_t $ stats_t)
+      const run $ app_t $ machine_t $ proto_t $ size_t $ cache_t $ nodes_t
+      $ scale_t $ seed_t $ verify_t $ stats_t)
 
 (* --- tt fig3 --- *)
 
@@ -265,11 +294,14 @@ let scale_cmd =
       value & opt int 256
       & info [ "cache" ] ~doc:"CPU cache size in KB (default 256).")
   in
-  let run apps nodes scale cache_kb domains =
+  let run apps proto nodes scale cache_kb domains =
     let domains = resolve_domains domains in
     note_parallel domains;
-    let points = H.Scaling.run ~apps ~nodes ~scale ~cache_kb ~domains () in
-    print_string (H.Scaling.render points);
+    let proto = Option.value proto ~default:"stache" in
+    let points =
+      H.Scaling.run ~apps ~proto ~nodes ~scale ~cache_kb ~domains ()
+    in
+    print_string (H.Scaling.render ~proto points);
     (* host-dependent: kept out of the table so gates can diff it *)
     Printf.printf "(sweep host CPU: %.1fs)\n" (H.Scaling.total_cpu_s points);
     match Sys.getenv_opt "TT_BENCH_JSON" with
@@ -287,7 +319,88 @@ let scale_cmd =
      $(b,TT_BENCH_JSON) to also write the points as JSON."
   in
   Cmd.v (Cmd.info "scale" ~doc)
-    Term.(const run $ apps_t $ nodes_list_t $ scale_t $ cache_t $ domains_t)
+    Term.(
+      const run $ apps_t $ proto_t $ nodes_list_t $ scale_t $ cache_t
+      $ domains_t)
+
+(* --- tt proto --- *)
+
+let proto_cmd =
+  let apps_t =
+    Arg.(
+      value
+      & opt (list (enum (List.map (fun n -> (n, n)) H.Catalog.all_names)))
+          H.Catalog.all_names
+      & info [ "apps" ] ~doc:"Comma-separated benchmark subset.")
+  in
+  let protos_t =
+    Arg.(
+      value
+      & opt (list proto_conv) H.Protozoo.default_protos
+      & info [ "protos" ] ~doc:"Comma-separated protocol subset.")
+  in
+  let nodes_list_t =
+    Arg.(
+      value
+      & opt (list int) H.Protozoo.default_nodes
+      & info [ "n"; "nodes" ] ~doc:"Comma-separated node counts to sweep.")
+  in
+  let scale_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "scale" ] ~doc:"Data-set scale factor (default 0.25).")
+  in
+  let cache_t =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~doc:"CPU cache size in KB (default 256).")
+  in
+  let tolerance_t =
+    Arg.(
+      value & opt float 5.0
+      & info [ "tolerance" ]
+          ~doc:
+            "Adaptive gate: maximum percent by which adaptive may exceed \
+             the best static protocol at any grid point (default 5).")
+  in
+  let run apps protos nodes scale cache_kb tolerance domains =
+    let domains = resolve_domains domains in
+    note_parallel domains;
+    let cells =
+      H.Protozoo.run ~apps ~protos ~nodes ~scale ~cache_kb ~domains ()
+    in
+    print_string (H.Protozoo.render cells);
+    Printf.printf "(shootout host CPU: %.1fs)\n" (H.Protozoo.total_cpu_s cells);
+    (match Sys.getenv_opt "TT_BENCH_JSON" with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (H.Protozoo.to_json cells);
+        close_out oc;
+        Printf.printf "(wrote shootout cells to %s)\n" path
+    | None -> ());
+    match H.Protozoo.adaptive_regressions ~tolerance:(tolerance /. 100.0) cells
+    with
+    | [] ->
+        if List.mem "adaptive" protos then
+          Printf.printf
+            "adaptive is within %.0f%% of the best static protocol at every \
+             grid point\n"
+            tolerance
+    | regressions ->
+        List.iter (Printf.printf "ADAPTIVE REGRESSION: %s\n") regressions;
+        exit 1
+  in
+  let doc =
+    "Protocol shootout: run the app x protocol x node-count grid (Figure \
+     3/4 apps plus synthetic migratory and producer-consumer companions \
+     over the protocol zoo), verify every cell against its sequential \
+     oracle, and gate adaptive per-page switching against the best static \
+     protocol.  Set $(b,TT_BENCH_JSON) to also write the cells as JSON."
+  in
+  Cmd.v (Cmd.info "proto" ~doc)
+    Term.(
+      const run $ apps_t $ protos_t $ nodes_list_t $ scale_t $ cache_t
+      $ tolerance_t $ domains_t)
 
 (* --- tt verify --- *)
 
@@ -460,10 +573,11 @@ let faults_cmd =
              cells run under the full recovery stack and report how they \
              were brought to verified results.")
   in
-  let run apps machine drops seeds crashes request_drop response_drop burst
-      credits spill nodes scale domains =
+  let run apps machine proto drops seeds crashes request_drop response_drop
+      burst credits spill nodes scale domains =
     let domains = resolve_domains domains in
     note_parallel domains;
+    let machine = Option.value proto ~default:machine in
     let pct = Option.map (fun p -> p /. 100.0) in
     let drops = List.map (fun p -> p /. 100.0) drops in
     let burst = if burst then Some (Tt_net.Faults.bursty ()) else None in
@@ -497,7 +611,7 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ apps_t $ machine_t $ drops_t $ seeds_t $ crash_t
+      const run $ apps_t $ machine_t $ proto_t $ drops_t $ seeds_t $ crash_t
       $ req_drop_t $ resp_drop_t $ burst_t $ credits_t $ spill_t $ nodes_t
       $ scale_t $ domains_t)
 
@@ -609,8 +723,11 @@ let torture_cmd =
   let machines_t =
     Arg.(
       value
-      & opt (list (enum (List.map (fun n -> (n, n)) T.machines))) T.machines
-      & info [ "machines" ] ~doc:"Comma-separated machines (default: both).")
+      & opt (list (enum (List.map (fun n -> (n, n)) T.all_machines))) T.machines
+      & info [ "machines" ]
+          ~doc:
+            "Comma-separated machines (default: stache,dirnnb; the zoo \
+             protocols and adaptive are also accepted).")
   in
   let drops_t =
     Arg.(
@@ -816,11 +933,12 @@ let pdes_cmd =
 
 let list_cmd =
   let run () =
-    Printf.printf "benchmarks: %s\nmachines:   %s\n"
-      (String.concat ", " H.Catalog.names)
+    Printf.printf "benchmarks: %s\nmachines:   %s\nprotocols:  %s\n"
+      (String.concat ", " H.Catalog.all_names)
       (String.concat ", " machine_names)
+      (String.concat ", " H.Catalog.protocols)
   in
-  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and machines.")
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, machines and protocols.")
     Term.(const run $ const ())
 
 let () =
@@ -828,5 +946,5 @@ let () =
   let info = Cmd.info "tt" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; fig3_cmd; fig4_cmd; tables_cmd; ablations_cmd; sweep_cmd;
-         scale_cmd; faults_cmd; recover_cmd; torture_cmd; pdes_cmd;
-         verify_cmd; list_cmd ]))
+         scale_cmd; proto_cmd; faults_cmd; recover_cmd; torture_cmd;
+         pdes_cmd; verify_cmd; list_cmd ]))

@@ -1,6 +1,6 @@
 module Prng = Tt_util.Prng
 
-type sharing = Private_writes | Locked_counters
+type sharing = Private_writes | Locked_counters | Producer_consumer
 
 type config = {
   words_per_proc : int;
@@ -11,12 +11,13 @@ type config = {
   think : int;
   sharing : sharing;
   seed : int;
+  epochs : int;
 }
 
 let default =
   { words_per_proc = 512; ops_per_proc = 2000; write_pct = 30;
     remote_pct = 20; run_length = 4; think = 4; sharing = Private_writes;
-    seed = 19 }
+    seed = 19; epochs = 4 }
 
 type instance = { body : Env.t -> unit; verify : Env.t -> unit }
 
@@ -44,15 +45,77 @@ let ops_for cfg ~nprocs ~proc =
       | Private_writes, true ->
           (* writes stay in the local partition (owners-compute) *)
           { word = (proc * cfg.words_per_proc) + offset; is_write = true }
-      | (Private_writes | Locked_counters), _ ->
+      | (Private_writes | Locked_counters | Producer_consumer), _ ->
           { word = (!partition * cfg.words_per_proc) + offset; is_write })
 
 let encode_write ~proc ~op_index =
   float_of_int ((proc * 1_000_000) + op_index + 1)
 
-let make cfg ~nprocs =
-  if cfg.run_length <= 0 || cfg.words_per_proc <= 0 then
+let encode_epoch ~owner ~epoch ~offset =
+  float_of_int ((owner * 1_000_000) + (epoch * 1_000) + offset)
+
+(* Producer-consumer discipline: per epoch, every processor rewrites its own
+   partition (home stores), synchronizes, then reads its left neighbour's
+   whole partition and checks every value in place — the body itself detects
+   staleness, which exercises the update-family protocols' release flushes
+   end to end. *)
+let make_pc cfg ~nprocs =
+  let total_words = nprocs * cfg.words_per_proc in
+  let bases = Array.make nprocs 0 in
+  let addr w =
+    bases.(w / cfg.words_per_proc) + (w mod cfg.words_per_proc * Env.word)
+  in
+  let body (env : Env.t) =
+    let proc = env.Env.proc in
+    if proc = 0 then
+      for q = 0 to nprocs - 1 do
+        bases.(q) <- env.Env.alloc ~home:q (cfg.words_per_proc * Env.word)
+      done;
+    env.Env.barrier ();
+    let src = (proc + 1) mod nprocs in
+    for epoch = 1 to cfg.epochs do
+      (* produce: rewrite the local partition *)
+      for offset = 0 to cfg.words_per_proc - 1 do
+        env.Env.work cfg.think;
+        env.Env.write
+          (addr ((proc * cfg.words_per_proc) + offset))
+          (encode_epoch ~owner:proc ~epoch ~offset)
+      done;
+      env.Env.barrier ();
+      (* consume: read the neighbour's whole partition, checking in place *)
+      for offset = 0 to cfg.words_per_proc - 1 do
+        env.Env.work cfg.think;
+        let got = env.Env.read (addr ((src * cfg.words_per_proc) + offset)) in
+        let want = encode_epoch ~owner:src ~epoch ~offset in
+        if got <> want then
+          failwith
+            (Printf.sprintf
+               "synth-pc proc %d epoch %d: word %d of proc %d = %g, expected %g"
+               proc epoch offset src got want)
+      done;
+      env.Env.barrier ()
+    done
+  in
+  let verify (env : Env.t) =
+    if env.Env.proc = 0 then
+      for w = 0 to total_words - 1 do
+        let owner = w / cfg.words_per_proc and offset = w mod cfg.words_per_proc in
+        let got = env.Env.read (addr w) in
+        let want = encode_epoch ~owner ~epoch:cfg.epochs ~offset in
+        if got <> want then
+          failwith
+            (Printf.sprintf "synth-pc word %d = %g, expected %g" w got want)
+      done
+  in
+  { body; verify }
+
+let rec make cfg ~nprocs =
+  if cfg.run_length <= 0 || cfg.words_per_proc <= 0 || cfg.epochs <= 0 then
     invalid_arg "Synth.make: bad configuration";
+  if cfg.sharing = Producer_consumer then make_pc cfg ~nprocs
+  else make_streaming cfg ~nprocs
+
+and make_streaming cfg ~nprocs =
   let streams = Array.init nprocs (fun proc -> ops_for cfg ~nprocs ~proc) in
   let total_words = nprocs * cfg.words_per_proc in
   let bases = Array.make nprocs 0 in
@@ -84,7 +147,8 @@ let make cfg ~nprocs =
             env.Env.lock word;
             env.Env.write (addr word) (env.Env.read (addr word) +. 1.0);
             env.Env.unlock word
-        | Locked_counters, false -> ignore (env.Env.read (addr word)))
+        | Locked_counters, false -> ignore (env.Env.read (addr word))
+        | Producer_consumer, _ -> assert false (* handled by make_pc *))
       streams.(proc);
     env.Env.barrier ()
   in
@@ -99,7 +163,8 @@ let make cfg ~nprocs =
                 match cfg.sharing with
                 | Private_writes ->
                     expect.(word) <- encode_write ~proc ~op_index:i
-                | Locked_counters -> expect.(word) <- expect.(word) +. 1.0)
+                | Locked_counters -> expect.(word) <- expect.(word) +. 1.0
+                | Producer_consumer -> assert false)
             stream)
         streams;
       for w = 0 to total_words - 1 do

@@ -6,17 +6,22 @@
     Data is partitioned across processors, each partition homed locally;
     accesses hit the local partition or a uniformly random remote one.
 
-    Two sharing disciplines keep results deterministic and verifiable:
+    Three sharing disciplines keep results deterministic and verifiable:
     - [Private_writes]: processors write only their own partition (remote
       traffic is read-only sharing, like stencil ghost cells);
     - [Locked_counters]: remote writes are lock-protected increments
-      (migratory sharing, like MP3D's space cells). *)
+      (migratory sharing, like MP3D's space cells);
+    - [Producer_consumer]: per epoch, every processor rewrites its own
+      partition, synchronizes, then reads its neighbour's whole partition
+      and checks each value in place (phase-structured channel traffic,
+      like EM3D's value arrays — the staleness detector for the
+      update-family protocols). *)
 
-type sharing = Private_writes | Locked_counters
+type sharing = Private_writes | Locked_counters | Producer_consumer
 
 type config = {
   words_per_proc : int;
-  ops_per_proc : int;
+  ops_per_proc : int;  (** ignored under [Producer_consumer] *)
   write_pct : int;  (** share of operations that write, 0..100 *)
   remote_pct : int;  (** share of operations aimed at a remote partition *)
   run_length : int;  (** consecutive addresses per placement choice (spatial
@@ -24,11 +29,12 @@ type config = {
   think : int;  (** compute cycles between operations *)
   sharing : sharing;
   seed : int;
+  epochs : int;  (** produce/consume rounds under [Producer_consumer] *)
 }
 
 val default : config
 (** 512 words/proc, 2000 ops/proc, 30 % writes, 20 % remote, run length 4,
-    4 think cycles, private writes. *)
+    4 think cycles, private writes, 4 epochs. *)
 
 type instance = { body : Env.t -> unit; verify : Env.t -> unit }
 

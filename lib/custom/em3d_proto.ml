@@ -42,7 +42,7 @@ type t = {
   counters : Stats.t;
   kind_ids : (string, int) Hashtbl.t;
   mutable kind_names : string array;
-  custom_pages : (int, int) Hashtbl.t;  (* vpage -> kind id *)
+  custom_pages : Proto.Pages.t;  (* vpage -> kind id *)
   states : (int, kind_state) Hashtbl.t array;  (* per node: kind id -> state *)
   pending : (int, Tempest.resumption) Hashtbl.t array; (* per node fetches *)
   mutable h_get : int;
@@ -76,11 +76,7 @@ let state t ~node ~kind =
       ks
 
 let kind_of_vaddr t vaddr =
-  match Hashtbl.find_opt t.custom_pages (Addr.page_of vaddr) with
-  | Some k -> k
-  | None ->
-      invalid_arg
-        (Printf.sprintf "Em3d_proto: 0x%x is not on a custom page" vaddr)
+  Proto.Pages.id_of t.custom_pages ~what:"Em3d_proto" vaddr
 
 let buffer_of ks step =
   match Hashtbl.find_opt ks.buffers step with
@@ -216,7 +212,7 @@ let install sys stache =
       counters = Stats.create "em3d_proto";
       kind_ids = Hashtbl.create 4;
       kind_names = [||];
-      custom_pages = Hashtbl.create 1024;
+      custom_pages = Proto.Pages.create sys stache;
       states = Array.init nnodes (fun _ -> Hashtbl.create 4);
       pending = Array.init nnodes (fun _ -> Hashtbl.create 8);
       h_get = -1; h_data = -1; h_update = -1; h_flush = -1;
@@ -232,42 +228,16 @@ let install sys stache =
     (home_block_fault t);
   Tempest.Handlers.set_block_fault tables ~mode:mode_custom_remote
     (remote_block_fault t);
-  (* Wrap Stache's page-fault handler: custom pages map as custom stache
-     pages, everything else keeps the transparent behaviour. *)
-  let stache_page_fault =
-    match Tempest.Handlers.page_fault tables with
-    | Some h -> h
-    | None -> invalid_arg "Em3d_proto.install: install Stache first"
-  in
-  Tempest.Handlers.set_page_fault tables (fun ep ~vaddr access resumption ->
-      let vpage = Addr.page_of vaddr in
-      if Hashtbl.mem t.custom_pages vpage then begin
-        ep.Tempest.charge 10;
-        ep.Tempest.map_page ~vpage
-          ~home:(Stache.home_of t.stache ~vaddr)
-          ~mode:mode_custom_remote ~init_tag:Tag.Invalid;
-        ep.Tempest.resume resumption
-      end
-      else stache_page_fault ep ~vaddr access resumption);
+  (* Custom pages map as custom stache pages on fault; everything else
+     keeps the transparent behaviour (shared plumbing, see Proto.Pages). *)
+  Proto.Pages.wrap_page_fault t.custom_pages ~remote_mode:mode_custom_remote;
   t
 
 let alloc t ~th ~node ~kind ?home ~bytes () =
   let kid = kind_id t kind in
   (* page-aligned so custom pages are never shared with stache data *)
-  let vaddr =
-    Stache.alloc t.stache ~th ~node ?home ~align:Addr.page_size ~bytes ()
-  in
-  let first = Addr.page_of vaddr
-  and last = Addr.page_of (vaddr + bytes - 1) in
-  let home_node = Stache.home_of t.stache ~vaddr in
-  let ep = System.endpoint t.sys home_node in
-  System.with_cpu_context t.sys ~node th (fun () ->
-      for vpage = first to last do
-        Hashtbl.replace t.custom_pages vpage kid;
-        (* retype the freshly created home page *)
-        ep.Tempest.set_page_mode ~vpage ~mode:mode_custom_home
-      done);
-  vaddr
+  Proto.Pages.alloc t.custom_pages ~th ~node ~id:kid
+    ~home_mode:mode_custom_home ?home ~bytes ()
 
 let flush_and_wait t ~th ~node ~kind =
   let kid = kind_id t kind in
@@ -289,11 +259,5 @@ let flush_and_wait t ~th ~node ~kind =
         apply_step ep ks step)
   else
     Thread.await_unit th (fun wake ->
-        ks.waiter <-
-          Some
-            ( step,
-              fun () ->
-                (* runs on the NP after apply_step; sync the CPU clock *)
-                Thread.set_clock th
-                  (max (Thread.clock th) (Np.clock (System.node_np t.sys node)));
-                wake () ))
+        (* the wake runs on the NP after apply_step; sync the CPU clock *)
+        ks.waiter <- Some (step, Proto.np_wake t.sys ~node th wake))

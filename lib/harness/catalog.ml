@@ -13,8 +13,47 @@ let size_label = function Small -> "small" | Large -> "large"
 
 let names = [ "appbt"; "barnes"; "mp3d"; "ocean"; "em3d" ]
 
+let all_names = names @ [ "synthmig"; "synthpc" ]
+
+(* Synthetic shootout companions: a migratory locked-counter stress and a
+   phase-structured producer-consumer channel (the patterns the zoo's
+   Migratory and Prodcons/Delayed policies target). *)
+let synthmig_config ~size ~scale =
+  let words, ops = match size with Small -> 64, 400 | Large -> 256, 2000 in
+  let ops = max 50 (int_of_float (float_of_int ops *. scale)) in
+  { Tt_app.Synth.default with
+    Tt_app.Synth.words_per_proc = words;
+    ops_per_proc = ops;
+    write_pct = 50;
+    remote_pct = 80;
+    run_length = 2;
+    sharing = Tt_app.Synth.Locked_counters;
+    seed = 7 }
+
+let synthpc_config ~size ~scale =
+  let words, epochs = match size with Small -> 64, 32 | Large -> 256, 12 in
+  let words = max 16 (int_of_float (float_of_int words *. scale)) in
+  { Tt_app.Synth.default with
+    Tt_app.Synth.words_per_proc = words;
+    sharing = Tt_app.Synth.Producer_consumer;
+    epochs;
+    seed = 11 }
+
 let make ~name ~size ~scale ~nprocs =
   match name with
+  | "synthmig" ->
+      let cfg = synthmig_config ~size ~scale in
+      let i = Tt_app.Synth.make cfg ~nprocs in
+      { app_name = name; body = i.Tt_app.Synth.body;
+        verify = i.Tt_app.Synth.verify;
+        work_items = cfg.Tt_app.Synth.ops_per_proc * nprocs }
+  | "synthpc" ->
+      let cfg = synthpc_config ~size ~scale in
+      let i = Tt_app.Synth.make cfg ~nprocs in
+      { app_name = name; body = i.Tt_app.Synth.body;
+        verify = i.Tt_app.Synth.verify;
+        work_items =
+          cfg.Tt_app.Synth.words_per_proc * cfg.Tt_app.Synth.epochs * nprocs }
   | "appbt" ->
       let base = match size with Small -> Appbt.small | Large -> Appbt.large in
       let cfg = if scale = 1.0 then base else Appbt.scale base scale in
@@ -51,6 +90,14 @@ let data_set_description ~name ~size ~scale =
   let suffix = if scale = 1.0 then "" else Printf.sprintf " (x%.2f)" scale in
   let pick small large = match size with Small -> small | Large -> large in
   (match name with
+  | "synthmig" ->
+      let cfg = synthmig_config ~size ~scale in
+      Printf.sprintf "%d locked words/proc, %d ops"
+        cfg.Tt_app.Synth.words_per_proc cfg.Tt_app.Synth.ops_per_proc
+  | "synthpc" ->
+      let cfg = synthpc_config ~size ~scale in
+      Printf.sprintf "%d words/proc, %d epochs" cfg.Tt_app.Synth.words_per_proc
+        cfg.Tt_app.Synth.epochs
   | "appbt" ->
       let base = pick Appbt.small Appbt.large in
       let cfg = if scale = 1.0 then base else Appbt.scale base scale in
@@ -73,3 +120,23 @@ let data_set_description ~name ~size ~scale =
       Printf.sprintf "%d nodes, degree %d" cfg.Em3d.total_nodes cfg.Em3d.degree
   | other -> invalid_arg (Printf.sprintf "Catalog: unknown app %S" other))
   ^ suffix
+
+(* --- the protocol registry (the zoo + the two fixed machines) --- *)
+
+let protocols =
+  [ "stache"; "migratory"; "prodcons"; "widerep"; "delayed"; "adaptive" ]
+
+let unknown_protocol other =
+  invalid_arg
+    (Printf.sprintf "Catalog: unknown protocol %S (valid: %s)" other
+       (String.concat ", " protocols))
+
+let machine_of_proto ?reliability ?max_stache_pages ~proto params =
+  match proto with
+  | "stache" -> Machine.typhoon_stache ?reliability ?max_stache_pages params
+  | "adaptive" ->
+      Machine.typhoon_adaptive ?reliability ?max_stache_pages params
+  | "migratory" | "prodcons" | "widerep" | "delayed" ->
+      Machine.typhoon_zoo ?reliability ?max_stache_pages
+        ~policy:(Tt_custom.Proto.pol_of_name proto) params
+  | other -> unknown_protocol other

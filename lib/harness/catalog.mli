@@ -23,3 +23,20 @@ val make :
 
 val data_set_description : name:string -> size:size -> scale:float -> string
 (** e.g. "12x12x12" — the Table 3 cell, adjusted for scale. *)
+
+val all_names : string list
+(** {!names} plus the synthetic shootout companions ["synthmig"] (migratory
+    locked counters) and ["synthpc"] (phase-structured producer-consumer
+    channel). *)
+
+val protocols : string list
+(** Protocol names accepted by {!machine_of_proto}: ["stache"] (the
+    transparent default), the zoo (["migratory"], ["prodcons"],
+    ["widerep"], ["delayed"]) and ["adaptive"] (per-page runtime
+    switching). *)
+
+val machine_of_proto :
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int ->
+  proto:string -> Params.t -> Machine.t
+(** The Typhoon machine running the named protocol.
+    @raise Invalid_argument for unknown names, listing the valid ones. *)

@@ -24,13 +24,17 @@ type point = {
   outcome : outcome;
 }
 
-let machines = [ "stache"; "dirnnb"; "update" ]
+let machines =
+  [ "stache"; "dirnnb"; "update"; "migratory"; "prodcons"; "widerep";
+    "delayed"; "adaptive" ]
 
 let make_machine ~machine ?reliability params =
   match machine with
   | "stache" -> Machine.typhoon_stache ?reliability params
   | "dirnnb" -> Machine.dirnnb ?reliability params
   | "update" -> Machine.typhoon_em3d ?reliability params
+  | "migratory" | "prodcons" | "widerep" | "delayed" | "adaptive" ->
+      Catalog.machine_of_proto ?reliability ~proto:machine params
   | other ->
       invalid_arg
         (Printf.sprintf "Faultsweep: unknown machine %S (expected %s)" other
@@ -198,11 +202,13 @@ let run ?(apps = Catalog.names) ?(machine = "stache")
     ?(drops = [ 0.01; 0.05 ]) ?(seeds = [ 1; 2; 3 ]) ?(crashes = [ None ])
     ?request_drop ?response_drop ?burst ?credits ?spill ?(size = Catalog.Small)
     ?(scale = 0.25) ?(nodes = 8) ?(domains = 0) () =
-  if machine = "update" && List.exists Option.is_some crashes then
+  if
+    machine <> "stache" && machine <> "dirnnb"
+    && List.exists Option.is_some crashes
+  then
     invalid_arg
-      "Faultsweep: the custom update protocol does not implement the \
-       crash-recovery entry points; use --machine stache or dirnnb with \
-       --crash";
+      "Faultsweep: custom protocols do not implement the crash-recovery \
+       entry points; use --machine stache or dirnnb with --crash";
   (* parallel unit is the app, not the cell: every faulty cell compares
      against its app's fault-free baseline, so the (baseline, grid) bundle
      stays on one domain and the whole bundle fans out *)

@@ -36,7 +36,9 @@ type point = {
 }
 
 val machines : string list
-(** Accepted machine names: ["stache"], ["dirnnb"], ["update"]. *)
+(** Accepted machine names: ["stache"], ["dirnnb"], ["update"], plus the
+    protocol zoo (["migratory"], ["prodcons"], ["widerep"], ["delayed"])
+    and ["adaptive"]. *)
 
 val config_of :
   ?request_drop:float -> ?response_drop:float -> ?burst:Tt_net.Faults.burst ->

@@ -32,6 +32,12 @@ type t = {
      and a liveness census for watchdog diagnostics *)
   mutable on_barrier : (proc:int -> Thread.t -> unit) option;
   mutable liveness : (unit -> string) option;
+  (* release-consistency attachment points for update-family protocols:
+     called by Run's environment before entering a barrier and before
+     releasing a lock, so dirty blocks are flushed (and acks awaited)
+     before any other processor can synchronize past the release point *)
+  mutable pre_barrier : (proc:int -> Thread.t -> unit) option;
+  mutable pre_release : (proc:int -> Thread.t -> unit) option;
 }
 
 let typhoon_stache_full ?reliability ?max_stache_pages params =
@@ -73,6 +79,8 @@ let typhoon_stache_full ?reliability ?max_stache_pages params =
       special_allocs = Hashtbl.create 4;
       on_barrier = None;
       liveness = None;
+      pre_barrier = None;
+      pre_release = None;
     }
   in
   machine, sys, stache
@@ -107,6 +115,8 @@ let dirnnb_full ?reliability params =
       special_allocs = Hashtbl.create 4;
       on_barrier = None;
       liveness = None;
+      pre_barrier = None;
+      pre_release = None;
     }
   in
   machine, sys
@@ -141,4 +151,90 @@ let typhoon_em3d_full ?reliability ?max_stache_pages params =
 
 let typhoon_em3d ?reliability ?max_stache_pages params =
   let m, _, _, _ = typhoon_em3d_full ?reliability ?max_stache_pages params in
+  m
+
+module Proto = Tt_custom.Proto
+
+let typhoon_zoo_full ?reliability ?max_stache_pages ~policy params =
+  let machine, sys, stache =
+    typhoon_stache_full ?reliability ?max_stache_pages params
+  in
+  let proto = Proto.install sys stache in
+  let machine =
+    { machine with
+      label = "typhoon/" ^ Proto.name_of_pol policy;
+      alloc =
+        (fun ~node th ?home bytes ->
+          (* page-aligned so adopted pages never share with other data *)
+          let vaddr =
+            Stache.alloc stache ~th ~node ?home ~align:Tt_mem.Addr.page_size
+              ~bytes ()
+          in
+          Proto.adopt proto ~th ~node ~vaddr ~bytes policy;
+          vaddr);
+      merged_stats =
+        (fun () ->
+          let out = machine.merged_stats () in
+          Stats.merge_into ~dst:out (Proto.stats proto);
+          out) }
+  in
+  let flush ~proc th = Proto.flush_release proto ~th ~node:proc in
+  machine.pre_barrier <- Some flush;
+  machine.pre_release <- Some flush;
+  machine, sys, stache, proto
+
+let typhoon_zoo ?reliability ?max_stache_pages ~policy params =
+  let m, _, _, _ =
+    typhoon_zoo_full ?reliability ?max_stache_pages ~policy params
+  in
+  m
+
+let typhoon_adaptive_full ?reliability ?max_stache_pages params =
+  let machine, sys, stache =
+    typhoon_stache_full ?reliability ?max_stache_pages params
+  in
+  let proto = Proto.install sys stache in
+  let adapt = Tt_custom.Adaptive.install sys stache proto in
+  let machine =
+    { machine with
+      label = "typhoon/adaptive";
+      alloc =
+        (fun ~node th ?home bytes ->
+          (* page-aligned like the static zoo machines, so a retyped page
+             never drags unrelated data (or another allocation's straddling
+             block) under its policy *)
+          Stache.alloc stache ~th ~node ?home ~align:Tt_mem.Addr.page_size
+            ~bytes ());
+      merged_stats =
+        (fun () ->
+          let out = machine.merged_stats () in
+          Stats.merge_into ~dst:out (Proto.stats proto);
+          Stats.merge_into ~dst:out (Tt_custom.Adaptive.stats adapt);
+          out) }
+  in
+  (* pages start on the default protocol; the barrier hook flushes this
+     node's un-flushed zoo state, then lets the adaptive layer reclassify
+     and switch the pages it homes *)
+  machine.pre_barrier <-
+    Some
+      (fun ~proc th ->
+        Proto.flush_release proto ~th ~node:proc;
+        Tt_custom.Adaptive.on_sync adapt ~node:proc th);
+  (* a second decision point after the barrier completes: remote fetches
+     served by this node's NP while its CPU sat waiting (evidence that
+     landed after the pre-barrier pass) are classified now instead of a
+     whole phase later *)
+  machine.on_barrier <-
+    Some (fun ~proc th -> Tt_custom.Adaptive.on_sync adapt ~node:proc th);
+  machine.pre_release <-
+    Some
+      (fun ~proc th ->
+        Proto.flush_release proto ~th ~node:proc;
+        Tt_custom.Adaptive.on_release adapt ~node:proc th);
+  machine, sys, stache, proto, adapt
+
+let typhoon_adaptive ?reliability ?max_stache_pages params =
+  let m, _, _, _, _ =
+    typhoon_adaptive_full ?reliability ?max_stache_pages params
+  in
   m

@@ -46,6 +46,14 @@ type t = {
   mutable liveness : (unit -> string) option;
       (** liveness census (e.g. {!Tt_net.Liveness.summary}) appended to
           watchdog expiry diagnostics; [None] outside recovery runs. *)
+  mutable pre_barrier : (proc:int -> Tt_sim.Thread.t -> unit) option;
+      (** release-consistency attachment point: called by {!Run.spmd}'s
+          environment {e before} entering every barrier, so update-family
+          protocols flush dirty blocks and await acks before any other
+          processor can pass the barrier and read them.  [None] (never
+          called) unless a protocol layer installs it. *)
+  mutable pre_release : (proc:int -> Tt_sim.Thread.t -> unit) option;
+      (** like {!pre_barrier} but called before every lock release. *)
 }
 
 val typhoon_stache :
@@ -75,3 +83,30 @@ val typhoon_em3d :
 val typhoon_em3d_full :
   ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int -> Params.t ->
   t * Tt_typhoon.System.t * Tt_stache.Stache.t * Tt_custom.Em3d_proto.t
+
+val typhoon_zoo :
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int ->
+  policy:Tt_custom.Proto.pol -> Params.t -> t
+(** Typhoon with Stache plus the protocol zoo installed, every application
+    allocation adopted under [policy] (labelled ["typhoon/<policy>"]).
+    Allocations are page-aligned; release-consistency flushes are wired to
+    the pre-barrier and pre-release hooks. *)
+
+val typhoon_zoo_full :
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int ->
+  policy:Tt_custom.Proto.pol -> Params.t ->
+  t * Tt_typhoon.System.t * Tt_stache.Stache.t * Tt_custom.Proto.t
+
+val typhoon_adaptive :
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int -> Params.t -> t
+(** Typhoon with the zoo plus per-page adaptive policy switching: pages
+    start on the default invalidate protocol and {!Tt_custom.Adaptive}
+    reclassifies them around every barrier and every 8th lock release.
+    Allocations are page-aligned like the static zoo machines.  With
+    [TT_ADAPT=0] nothing ever switches: every page keeps the default
+    invalidate protocol for the whole run. *)
+
+val typhoon_adaptive_full :
+  ?reliability:Tt_net.Reliable.policy -> ?max_stache_pages:int -> Params.t ->
+  t * Tt_typhoon.System.t * Tt_stache.Stache.t * Tt_custom.Proto.t
+  * Tt_custom.Adaptive.t

@@ -50,12 +50,22 @@ let make_env (machine : Machine.t) ~barrier ~locks ~locks_mu ~proc th =
     prefetch = (fun vaddr -> machine.Machine.mprefetch ~node:proc th vaddr);
     barrier =
       (fun () ->
+        (* release-consistency: flush this proc's dirty updates (and await
+           their acks) before anyone can leave the barrier and read them *)
+        (match machine.Machine.pre_barrier with
+        | Some f -> f ~proc th
+        | None -> ());
         Barrier.wait barrier th;
         match machine.Machine.on_barrier with
         | Some f -> f ~proc th
         | None -> ());
     lock = (fun i -> Lock.acquire (lock_of i) th);
-    unlock = (fun i -> Lock.release (lock_of i) th);
+    unlock =
+      (fun i ->
+        (match machine.Machine.pre_release with
+        | Some f -> f ~proc th
+        | None -> ());
+        Lock.release (lock_of i) th);
     alloc = (fun ?home bytes -> machine.Machine.alloc ~node:proc th ?home bytes);
     alloc_kind =
       (fun kind ?home bytes ->

@@ -10,7 +10,7 @@ let default_nodes = [ 64; 128; 256 ]
 
 let ratio p = float_of_int p.stache_cycles /. float_of_int p.dirnnb_cycles
 
-let run_one ~app ~nodes ~scale ~cache_kb =
+let run_one ~app ~proto ~nodes ~scale ~cache_kb =
   let t0 = Sys.time () in
   let params =
     Params.with_cache { Params.default with Params.nodes } (cache_kb * 1024)
@@ -23,30 +23,35 @@ let run_one ~app ~nodes ~scale ~cache_kb =
       .Run.cycles
   in
   let dirnnb_cycles = measure (Machine.dirnnb params) in
-  let stache_cycles = measure (Machine.typhoon_stache params) in
+  let stache_cycles = measure (Catalog.machine_of_proto ~proto params) in
   { app; nodes; dirnnb_cycles; stache_cycles; cpu_s = Sys.time () -. t0 }
 
-let run ?(apps = Catalog.names) ?(nodes = default_nodes) ?(scale = 0.25)
-    ?(cache_kb = 256) ?(domains = 0) () =
+let run ?(apps = Catalog.names) ?(proto = "stache") ?(nodes = default_nodes)
+    ?(scale = 0.25) ?(cache_kb = 256) ?(domains = 0) () =
   (* Each grid cell is a self-contained pair of simulations — machines,
      fabrics, threads all private to the cell — so the cells fan out over
      worker domains untouched and the cycle columns are bit-identical to
      the sequential sweep; only wall-clock changes. *)
   List.concat_map (fun app -> List.map (fun n -> (app, n)) nodes) apps
   |> Tt_sim.Domains.map ~domains (fun (app, n) ->
-         run_one ~app ~nodes:n ~scale ~cache_kb)
+         run_one ~app ~proto ~nodes:n ~scale ~cache_kb)
 
-let render points =
+let render ?(proto = "stache") points =
+  let typhoon_col =
+    if proto = "stache" then "Typhoon/Stache" else "Typhoon/" ^ proto
+  in
   let table =
     Tt_util.Tablefmt.create
       ~title:
-        "scaling sweep: simulated cycles per node count (ratio < 1 means \
-         Typhoon/Stache is faster)"
+        (Printf.sprintf
+           "scaling sweep: simulated cycles per node count (ratio < 1 means \
+            %s is faster)"
+           typhoon_col)
       ~columns:
         [ ("benchmark", Tt_util.Tablefmt.Left);
           ("nodes", Tt_util.Tablefmt.Right);
           ("DirNNB", Tt_util.Tablefmt.Right);
-          ("Typhoon/Stache", Tt_util.Tablefmt.Right);
+          (typhoon_col, Tt_util.Tablefmt.Right);
           ("ratio", Tt_util.Tablefmt.Right) ]
   in
   List.iter

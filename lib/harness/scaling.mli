@@ -24,10 +24,12 @@ val default_nodes : int list
 (** [[64; 128; 256]] *)
 
 val run :
-  ?apps:string list -> ?nodes:int list -> ?scale:float -> ?cache_kb:int ->
-  ?domains:int -> unit -> point list
+  ?apps:string list -> ?proto:string -> ?nodes:int list -> ?scale:float ->
+  ?cache_kb:int -> ?domains:int -> unit -> point list
 (** Defaults: all five Figure 3 apps, {!default_nodes}, scale 0.25 of the
-    small data set, 256 KB CPU caches.  Points come out app-major in the
+    small data set, 256 KB CPU caches.  [proto] (default ["stache"])
+    selects the Typhoon-side protocol for the [stache_cycles] column, any
+    of {!Catalog.protocols}.  Points come out app-major in the
     order given.  [domains > 1] fans the (app, nodes) grid cells out over
     that many worker domains ({!Tt_sim.Domains.map}); cycle counts and
     point order are bit-identical to the sequential sweep.  Note [cpu_s]
@@ -37,8 +39,10 @@ val run :
 val ratio : point -> float
 (** [stache_cycles / dirnnb_cycles] — below 1.0 means Typhoon/Stache wins. *)
 
-val render : point list -> string
-(** Deterministic ASCII table (simulated cycles and ratios only). *)
+val render : ?proto:string -> point list -> string
+(** Deterministic ASCII table (simulated cycles and ratios only); pass the
+    same [proto] as {!run} to label the Typhoon column (the default
+    ["stache"] renders the historical header). *)
 
 val total_cpu_s : point list -> float
 

@@ -88,6 +88,12 @@ let map t ~vpage ~home ~mode ~init_tag =
   t.mru_page <- page;
   page
 
+let invalidate_translation t =
+  t.mru_vpage <- -1;
+  t.mru_page <- dummy_page
+
+let translation_cached t ~vpage = vpage = t.mru_vpage
+
 let unmap t ~vpage =
   if not (is_mapped t ~vpage) then
     invalid_arg

@@ -57,6 +57,15 @@ val map : t -> vpage:int -> home:int -> mode:int -> init_tag:Tag.t -> page
 val unmap : t -> vpage:int -> unit
 (** @raise Invalid_argument if not mapped. *)
 
+val invalidate_translation : t -> unit
+(** Drop the 1-entry MRU translation cache.  Protocols must call this when a
+    page is retyped in place (policy switch, re-homing) so that no access can
+    ride a stale cached translation past the mode change. *)
+
+val translation_cached : t -> vpage:int -> bool
+(** Whether [vpage] currently occupies the MRU translation slot (test
+    observability for the invalidation paths). *)
+
 val iter_pages : t -> (int -> page -> unit) -> unit
 
 (** {2 Tags} *)

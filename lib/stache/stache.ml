@@ -49,6 +49,12 @@ let mode_home = 1
 
 let mode_remote = 2
 
+(* Pages whose home-side service is modulated by an installed policy
+   (protocol zoo, see Tt_custom.Proto).  Remote copies of such pages stay
+   ordinary [mode_remote] stached pages; only the home end is retyped, so
+   the invariant auditor knows the page plays by its policy's rules. *)
+let mode_proto_home = 5
+
 (* Shared heap segment: a large user-reserved address range (§2.3). *)
 let heap_base = 0x1000_0000
 
@@ -81,8 +87,35 @@ type node_state = {
   stache_fifo : int Queue.t; (* stached vpages in mapping order *)
 }
 
+(* Hooks by which a user-level policy layer (the protocol zoo) modulates
+   home-side service without forking the engine.  All hooks run at the
+   block's home, inside the home's NP handlers; cost is charged by the hook
+   implementation, never here, so an absent policy is exactly free. *)
+type policy_hooks = {
+  ph_grant_kind :
+    vaddr:int ->
+    requester:int ->
+    state:Dir.bstate ->
+    [ `Ro | `Rw | `Up ] ->
+    [ `Ro | `Rw | `Up ];
+      (* may strengthen a remote request before service: migratory turns a
+         read miss on a remotely-owned block into an ownership handoff;
+         update policies turn an upgrade on a home-dirty block into a full
+         write miss so fresh data is sent *)
+  ph_home_store :
+    Tempest.t -> vaddr:int -> Dir.block_dir -> Tempest.resumption -> bool;
+      (* a home store fault hit a Shared block: return [true] after handling
+         it update-style (grant write permission in place, keep the sharers,
+         remember the block dirty) — the invalidation round is skipped.
+         Return [false] to fall through to normal invalidate service. *)
+  ph_note_get : vaddr:int -> requester:int -> kind:[ `Ro | `Rw | `Up ] -> unit;
+  ph_note_invals : vaddr:int -> targets:int list -> home_store:bool -> unit;
+  ph_note_recall : vaddr:int -> unit;
+}
+
 type t = {
   sys : System.t;
+  mutable policy : policy_hooks option;
   registry : (int, int) Hashtbl.t; (* vpage -> home: distributed mapping table *)
   node_states : node_state array;
   max_stache_pages : int option;
@@ -128,6 +161,8 @@ type t = {
 let system t = t.sys
 
 let stats t = t.counters
+
+let set_policy t p = t.policy <- p
 
 let kind_code = function `Ro -> 0 | `Rw -> 1 | `Up -> 2
 
@@ -215,6 +250,18 @@ let rec serve t (ep : Tempest.t) ~vaddr (bd : Dir.block_dir) client =
   touch_dir ep ~vaddr;
   if bd.Dir.pending <> None then Queue.add client bd.Dir.waiters
   else
+    (* a policy may strengthen the request kind before service (re-applied
+       when a queued waiter is drained — the directory state it depends on
+       may have changed while the client waited) *)
+    let client =
+      match t.policy, client with
+      | Some ph, Dir.Remote (r, k) ->
+          let k' =
+            ph.ph_grant_kind ~vaddr ~requester:r ~state:bd.Dir.state k
+          in
+          if k' = k then client else Dir.Remote (r, k')
+      | (Some _ | None), _ -> client
+    in
     match bd.Dir.state, client with
     (* ---- no conflicting copies: grant immediately ---- *)
     | Dir.Idle, Dir.Remote (_, `Up) ->
@@ -227,6 +274,15 @@ let rec serve t (ep : Tempest.t) ~vaddr (bd : Dir.block_dir) client =
     | Dir.Shared, Dir.Home (res, Tag.Load) ->
         (* spurious: ReadOnly home tag already permits loads *)
         ep.Tempest.resume res
+    (* ---- update-style home store: policy keeps the sharers ---- *)
+    | Dir.Shared, Dir.Home (res, Tag.Store)
+      when (match t.policy with
+           | Some ph -> ph.ph_home_store ep ~vaddr bd res
+           | None -> false) ->
+        (* the policy granted write permission in place and recorded the
+           block dirty; stale read-only copies are refreshed at the next
+           release point (or eagerly, per policy) *)
+        ()
     (* ---- sharers must be invalidated first ---- *)
     | Dir.Shared, (Dir.Remote (_, (`Rw | `Up)) | Dir.Home (_, Tag.Store)) ->
         let requester =
@@ -244,6 +300,10 @@ let rec serve t (ep : Tempest.t) ~vaddr (bd : Dir.block_dir) client =
             (fun s -> Some s <> requester)
             (Sharers.to_list bd.Dir.sharers)
         in
+        (match t.policy with
+        | Some ph ->
+            ph.ph_note_invals ~vaddr ~targets ~home_store:(requester = None)
+        | None -> ());
         (* the home's own readable copy goes too *)
         ep.Tempest.invalidate ~vaddr;
         if targets = [] then begin
@@ -269,6 +329,9 @@ let rec serve t (ep : Tempest.t) ~vaddr (bd : Dir.block_dir) client =
           | Dir.Remote (_, (`Rw | `Up)) | Dir.Home (_, Tag.Store) -> true
           | Dir.Remote (_, `Ro) | Dir.Home (_, Tag.Load) -> false
         in
+        (match t.policy with
+        | Some ph -> ph.ph_note_recall ~vaddr
+        | None -> ());
         Stats.Counter.incr t.c_recall;
         bd.Dir.pending <- Some { Dir.client; acks_left = 1; prev_owner = Some o };
         ep.Tempest.charge c_recall_extra;
@@ -312,6 +375,9 @@ let on_get t (ep : Tempest.t) ~src ~args ~data:_ =
   else begin
     Stats.Counter.incr
       (match kind with `Ro -> t.c_get_ro | `Rw -> t.c_get_rw | `Up -> t.c_upgrade);
+    (match t.policy with
+    | Some ph -> ph.ph_note_get ~vaddr ~requester ~kind
+    | None -> ());
     let bd = Dir.block_of ep ~vaddr in
     serve t ep ~vaddr bd (Dir.Remote (requester, kind))
   end
@@ -609,6 +675,7 @@ let install sys ?max_stache_pages () =
   let t =
     {
       sys;
+      policy = None;
       registry = Hashtbl.create 4096;
       node_states =
         Array.init (System.nnodes sys) (fun _ ->
@@ -655,6 +722,10 @@ let install sys ?max_stache_pages () =
   t.h_writeback <- reg "stache.writeback" on_writeback;
   t.h_noop <- reg "stache.noop" on_noop;
   Tempest.Handlers.set_block_fault tables ~mode:mode_home (home_block_fault t);
+  (* policy-retyped home pages fault into the same engine; the installed
+     policy hooks modulate service per page *)
+  Tempest.Handlers.set_block_fault tables ~mode:mode_proto_home
+    (home_block_fault t);
   Tempest.Handlers.set_block_fault tables ~mode:mode_remote
     (remote_block_fault t);
   Tempest.Handlers.set_page_fault tables (page_fault t);
@@ -804,6 +875,10 @@ let migrate_page t ~th ~node ~vpage ~new_home =
     old_page.Tt_mem.Pagemem.mode <- mode_remote;
     old_page.Tt_mem.Pagemem.home <- new_home;
     old_page.Tt_mem.Pagemem.user <- Tt_mem.Pagemem.No_info;
+    (* the page was retyped in place: no access may ride a cached
+       translation past the mode change *)
+    Tt_mem.Pagemem.invalidate_translation old_mem;
+    Tt_mem.Pagemem.invalidate_translation new_mem;
     Queue.add vpage (node_state t old_home).stache_fifo;
     (* the distributed mapping table and the two nodes' local caches *)
     Hashtbl.replace t.registry vpage new_home;
@@ -862,6 +937,7 @@ let raw_unmap t ~node ~vpage =
   let mem = System.node_mem t.sys node in
   if Tt_mem.Pagemem.is_mapped mem ~vpage then begin
     Tt_mem.Pagemem.unmap mem ~vpage;
+    Tt_mem.Pagemem.invalidate_translation mem;
     Tt_cache.Cache.flush_page (System.cpu_cache t.sys node) ~vpage;
     Tt_mem.Tlb.flush_entry (System.cpu_tlb t.sys node) vpage;
     Tt_mem.Tlb.flush_entry (Tt_typhoon.Np.rtlb (System.node_np t.sys node))
@@ -1258,6 +1334,9 @@ let on_node_death t ~dead ~new_home ~restore =
 let on_node_rejoin t ~node =
   let ns = node_state t node in
   let mem = System.node_mem t.sys node in
+  (* pages may have been re-homed (retyped in place) while the node was
+     dark: drop the crash-era cached translation before any retry runs *)
+  Tt_mem.Pagemem.invalidate_translation mem;
   let entries =
     List.sort
       (fun (a, _) (b, _) -> compare a b)

@@ -30,6 +30,48 @@ val mode_home : int
 val mode_remote : int
 (** Page mode of stached (remote copy) pages. *)
 
+val mode_proto_home : int
+(** Page mode of home pages retyped by a policy layer (protocol zoo): block
+    faults dispatch into the same home engine, but the installed
+    {!policy_hooks} modulate service and the invariant auditor leaves the
+    page to its policy's rules.  Remote copies of such pages stay ordinary
+    [mode_remote] pages. *)
+
+(** {2 Policy hooks (protocol zoo)}
+
+    A policy layer ({!Tt_custom.Proto}, {!Tt_custom.Adaptive}) customizes
+    home-side service per page without forking the directory engine.  All
+    hooks run at the block's home inside NP handlers; simulated cost is
+    charged by the hook implementation, so machines without a policy are
+    bit-identical to before the slot existed. *)
+
+type policy_hooks = {
+  ph_grant_kind :
+    vaddr:int ->
+    requester:int ->
+    state:Dir.bstate ->
+    [ `Ro | `Rw | `Up ] ->
+    [ `Ro | `Rw | `Up ];
+      (** May strengthen a remote request before service (e.g. migratory
+          turns [`Ro] on a remotely-owned block into [`Rw] so ownership
+          follows the accessor; update policies turn [`Up] on a home-dirty
+          block into [`Rw] so fresh data is sent).  Re-applied when queued
+          waiters are drained. *)
+  ph_home_store :
+    Tempest.t -> vaddr:int -> Dir.block_dir -> Tempest.resumption -> bool;
+      (** Home store fault on a Shared block.  Returning [true] means the
+          policy granted write permission in place (keeping the sharer set,
+          recording the block dirty, resuming the CPU) and the invalidation
+          round is skipped; [false] falls through to normal service. *)
+  ph_note_get : vaddr:int -> requester:int -> kind:[ `Ro | `Rw | `Up ] -> unit;
+  ph_note_invals : vaddr:int -> targets:int list -> home_store:bool -> unit;
+  ph_note_recall : vaddr:int -> unit;
+}
+
+val set_policy : t -> policy_hooks option -> unit
+(** Install (or clear) the policy hook set.  One slot machine-wide; per-page
+    behaviour is the policy layer's business. *)
+
 val install : Tt_typhoon.System.t -> ?max_stache_pages:int -> unit -> t
 (** Register all Stache handlers on the system.  [max_stache_pages] bounds
     the per-node stache size in pages (page replacement kicks in beyond

@@ -42,6 +42,13 @@ type mode =
 
 let machines = [ "stache"; "dirnnb" ]
 
+(* The protocol zoo's machines (and the adaptive switcher) can also be
+   tortured; the default grid stays the two fixed machines. *)
+let zoo_machines =
+  List.filter (fun n -> n <> "stache") Tt_harness.Catalog.protocols
+
+let all_machines = machines @ zoo_machines
+
 let kind_to_string = function
   | Sc -> "sc"
   | Stale -> "stale"
@@ -96,10 +103,12 @@ let make_machine case params =
   match case.machine with
   | "stache" -> Machine.typhoon_stache ?reliability params
   | "dirnnb" -> Machine.dirnnb ?reliability params
+  | proto when List.mem proto zoo_machines ->
+      Tt_harness.Catalog.machine_of_proto ?reliability ~proto params
   | other ->
       invalid_arg
         (Printf.sprintf "Torture: unknown machine %S (expected %s)" other
-           (String.concat "|" machines))
+           (String.concat "|" all_machines))
 
 let run ?(mode = Generate) ?(tweak_params = fun p -> p) case =
   let lit = Litmus.by_name case.litmus in

@@ -65,6 +65,17 @@ type mode =
   | Replay of Trace.t  (** journal decisions, neutral at absent sites *)
 
 val machines : string list
+(** The default grid machines: ["stache"; "dirnnb"]. *)
+
+val zoo_machines : string list
+(** The custom-protocol machines ({!Tt_harness.Catalog.protocols} minus
+    the transparent default, plus ["adaptive"]) — accepted by {!run} and
+    {!grid} but not part of the default grid.  [Delayed] relies on
+    data-race freedom, so racy litmus shapes may legitimately fail with
+    [Sc]/[Stale] there (diagnosed staleness, never silent corruption). *)
+
+val all_machines : string list
+(** [machines @ zoo_machines] — every name {!run} accepts. *)
 
 val kind_to_string : kind -> string
 

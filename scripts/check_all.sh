@@ -6,7 +6,8 @@ set -eu
 cd "$(dirname "$0")"
 
 for gate in check_fastpath.sh check_flowcontrol.sh check_pool_timing.sh \
-  check_scaling.sh check_torture.sh check_parallel.sh check_recovery.sh; do
+  check_scaling.sh check_torture.sh check_parallel.sh check_recovery.sh \
+  check_protocols.sh; do
   echo ""
   echo "==================== $gate ===================="
   sh "$gate"

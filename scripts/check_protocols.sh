@@ -1,0 +1,43 @@
+#!/bin/sh
+# Equivalence + determinism gate for the protocol zoo and the adaptive
+# per-page switcher.
+#
+# 1. Runs the full build + test suite twice — adaptive switching enabled
+#    (default), then with TT_ADAPT=0 (every page stays on the default
+#    invalidate protocol) — so the pinned simulated-cycle regression rows
+#    in test_regression.ml, the zoo/adaptive suite (test_proto.ml), and
+#    the torture replays are all checked under both configurations.
+#    Tests that exercise switching force TT_ADAPT=1 around their own
+#    bodies, so the kill switch may never break the suite.
+# 2. Diffs a compact shootout grid (tt proto) between the sequential
+#    driver and 4 worker domains: the rendered table and the JSON cells
+#    must be byte-identical (same guarantee as the scaling sweep).
+#
+# The bench harness enforces the complementary in-process invariant
+# (adaptive_parity in bench/main.ml: a TT_ADAPT=0 run on the adaptive
+# machine costs bit-identical cycles to the plain zoo machine) and records
+# the zoo ablations as ablation_protocol_{migratory,update} in
+# BENCH_RESULTS.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== adaptive switching enabled =="
+dune build
+dune runtest --force
+
+echo "== adaptive switching disabled (TT_ADAPT=0) =="
+TT_ADAPT=0 dune runtest --force
+
+echo "== shootout determinism across worker domains =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+grid="--apps synthmig,synthpc --protos stache,migratory,widerep,adaptive -n 8"
+for d in 1 4; do
+  TT_BENCH_JSON="$tmpdir/cells-$d.json" \
+    dune exec bin/tt.exe -- proto $grid --domains "$d" \
+    | grep -v 'host CPU\|parallel:\|wrote shootout cells' > "$tmpdir/table-$d.txt"
+done
+diff -u "$tmpdir/table-1.txt" "$tmpdir/table-4.txt"
+diff -u "$tmpdir/cells-1.json" "$tmpdir/cells-4.json"
+
+echo "protocol parity: both suites green, shootout identical on 1 and 4 domains"

@@ -107,11 +107,13 @@ let test_synth_verifies () =
                   (Printf.sprintf "synth %s remote=%d on %s: %s"
                      (match sharing with
                      | Tt_app.Synth.Private_writes -> "private"
-                     | Tt_app.Synth.Locked_counters -> "locked")
+                     | Tt_app.Synth.Locked_counters -> "locked"
+                     | Tt_app.Synth.Producer_consumer -> "prodcons")
                      remote_pct label (Printexc.to_string e)))
             machines)
         [ 0; 50; 100 ])
-    [ Tt_app.Synth.Private_writes; Tt_app.Synth.Locked_counters ]
+    [ Tt_app.Synth.Private_writes; Tt_app.Synth.Locked_counters;
+      Tt_app.Synth.Producer_consumer ]
 
 let test_synth_stream_deterministic () =
   (* identical configs on fresh machines reproduce identical cycle counts *)
